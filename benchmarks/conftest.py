@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each benchmark reproduces one paper figure/table: it runs the experiment
+once (simulations are deterministic — statistical repetition adds nothing),
+prints the regenerated rows next to the paper's reference values, and
+reports wall time through pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark, capsys):
+    """Run an experiment once under pytest-benchmark and emit its table
+    (outside pytest's capture, so it lands in the bench log)."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return runner

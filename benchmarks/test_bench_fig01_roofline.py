@@ -1,0 +1,22 @@
+"""Fig 1 benchmark: roofline (1a) and KVS P95 vs load-to-use latency (1b).
+
+Paper reference: up to 9.9x (avg 6.3x) slowdown from CXL placement;
+KVS_A P95 of 1.0 / 2.2 / 7.4 normalized at LtU 75 / 150 / 600 ns.
+"""
+
+from repro.experiments.fig01 import run_fig1a, run_fig1b
+
+
+def test_fig1a_roofline(once):
+    result = once(run_fig1a)
+    slowdowns = result.column("slowdown")
+    assert max(slowdowns) > 8.0          # paper: up to 9.9x
+    assert all(s > 1.0 for s in slowdowns)
+
+
+def test_fig1b_kvs_ltu(once):
+    result = once(run_fig1b)
+    normalized = {row["memory"]: row["normalized"] for row in result.rows}
+    assert normalized["local_LtU_75ns"] == 1.0
+    assert normalized["cxl_LtU_150ns"] > 1.3       # paper: 2.2
+    assert normalized["cxl_LtU_600ns"] > normalized["cxl_LtU_150ns"]

@@ -1,0 +1,18 @@
+"""Fig 5 benchmark: offload timeline comparison.
+
+Paper reference: M2func cuts communication overhead 33-75% and end-to-end
+runtime 17-37% vs the CXL.io schemes (x=75 ns, y=500 ns, z=6.4 µs).
+"""
+
+from repro.experiments.fig05 import run_fig5
+
+
+def test_fig5_offload_timelines(once):
+    result = once(run_fig5)
+    totals = {row["mechanism"]: row["total_ns"] for row in result.rows}
+    assert totals["m2func"] < totals["cxl_io_dr"] < totals["cxl_io_rb"]
+    # end-to-end reductions (paper: 17-37%)
+    dr_reduction = 1.0 - totals["m2func"] / totals["cxl_io_dr"]
+    rb_reduction = 1.0 - totals["m2func"] / totals["cxl_io_rb"]
+    assert 0.10 < dr_reduction < 0.25
+    assert 0.30 < rb_reduction < 0.45

@@ -1,0 +1,25 @@
+"""Fig 6 benchmark: active-context ratio (6a) and HISTO traffic (6b).
+
+Paper reference: the NDP unit sustains a 15.9-50.9% higher active-context
+ratio than an SM on PGRANK; M2NDP cuts HISTO global traffic to 0.90x and
+scratchpad traffic to 0.44x of GPU-NDP.
+"""
+
+from repro.experiments.fig06 import run_fig6a, run_fig6b
+
+
+def test_fig6a_active_contexts(once):
+    result = once(run_fig6a, scale_name="small")
+    means = {row["config"]: row["mean_active_ratio"]
+             for row in result.rows if "config" in row}
+    assert means["ndp_unit"] > 0.0
+    # fine-grained µthread slots sustain at least TB-granularity occupancy
+    for tb in (32, 64, 128):
+        assert means["ndp_unit"] >= means[f"sm_tb{tb}"] * 0.9
+
+
+def test_fig6b_histo_traffic(once):
+    result = once(run_fig6b, scale_name="small")
+    m2ndp = next(r for r in result.rows if r["config"] == "m2ndp")
+    assert m2ndp["normalized_global"] < 1.0     # paper: 0.90
+    assert m2ndp["normalized_spad"] < 1.0       # paper: 0.44

@@ -1,0 +1,23 @@
+"""Fig 10a benchmark: OLAP Evaluate speedups.
+
+Paper reference (GMEAN over TPC-H Q6/Q14, SSB Q1.1-1.3): CPU-NDP 55x,
+M2NDP 73.4x (up to 128x), Ideal NDP 81x; M2NDP sustains 90.7% of internal
+DRAM bandwidth and lands within ~10% of Ideal.
+"""
+
+from repro.experiments.fig10 import run_fig10a
+from repro.sim.stats import geometric_mean
+
+
+def test_fig10a_olap(once):
+    result = once(run_fig10a, scale_name="small")
+    assert all(row["correct"] for row in result.rows)
+    m2ndp = geometric_mean(result.column("m2ndp"))
+    cpu_ndp = geometric_mean(result.column("cpu_ndp"))
+    ideal = geometric_mean(result.column("ideal"))
+    # ordering from the paper: baseline << CPU-NDP < M2NDP < Ideal
+    assert 1.0 < cpu_ndp
+    assert m2ndp > 20.0            # tens-of-x speedup regime
+    assert ideal > m2ndp
+    # full-query Amdahl bars improve on the baseline
+    assert all(row["norm_runtime"] < 1.0 for row in result.rows)

@@ -1,0 +1,23 @@
+"""Fig 10c benchmark: GPU-workload speedups across all NDP configurations.
+
+Paper reference GMEANs over HISTO/SPMV/PGRANK/SSSP/DLRM/OPT: GPU-NDP
+Iso-FLOPS 3.25x, 4xFLOPS 5.12x, 16xFLOPS 5.11x, Iso-Area 4.49x, M2NDP
+6.35x (max 9.71x), NSU 0.97x.  At bench scale the orderings reproduce
+with compressed magnitudes (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.fig10 import run_fig10c
+
+
+def test_fig10c_gpu_workloads(once):
+    result = once(run_fig10c, scale_name="small")
+    gmean = next(r for r in result.rows if r["workload"] == "GMEAN")
+    # M2NDP beats every GPU-NDP variant on average (paper: 6.35 vs <= 5.12)
+    assert gmean["m2ndp"] > gmean["gpu_ndp_iso_area"]
+    assert gmean["m2ndp"] > gmean["gpu_ndp_iso_flops"]
+    # NSU is no better than the baseline (paper: 0.97x)
+    assert gmean["nsu"] < 1.2
+    # Iso-FLOPS (8 SMs) cannot beat the larger configurations
+    assert gmean["gpu_ndp_iso_flops"] <= gmean["gpu_ndp_16x"] * 1.05
+    # M2NDP accelerates the memory-bound workloads
+    assert gmean["m2ndp"] > 1.0

@@ -1,0 +1,28 @@
+"""Fig 14 benchmark: domain-specific PEs (14a) and M2NDP-in-switch (14b).
+
+Paper reference: M2NDP lands within 6.5% of the domain-specific designs on
+average; the in-switch block scales 6.39-7.38x over 8 passive memories.
+"""
+
+from repro.experiments.fig14 import run_fig14a, run_fig14b
+
+
+def test_fig14a_domain_specific(once):
+    result = once(run_fig14a, scale_name="small")
+    for row in result.rows:
+        # each fixed-function PE lands in the same performance class as
+        # general-purpose M2NDP — same order of magnitude, not the 5-10x
+        # gulf that separates NDP from passive-memory baselines.  (Paper:
+        # within 6.5% on average at Table V scale; our scaled-down DLRM is
+        # partially latency-bound, widening its gap.)
+        assert 0.5 < row["pe_perf_normalized"] < 2.2, row
+    best = min(abs(r["pe_perf_normalized"] - 1.0) for r in result.rows)
+    assert best < 0.15   # at least one domain matches closely (OPT GEMV)
+
+
+def test_fig14b_switch_scaling(once):
+    result = once(run_fig14b)
+    by_count = {row["memories"]: row["speedup"] for row in result.rows}
+    assert by_count[1] == 1.0
+    assert by_count[8] > 6.0                  # paper: 6.39-7.38x
+    assert by_count[8] < 8.0                  # sub-linear from hop latency

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Graph analytics on NDP: PageRank and SSSP over a CSR graph in CXL memory.
+
+Demonstrates two of M2NDP's differentiators on irregular workloads:
+
+* **multi-body kernels** — one PageRank iteration is a single kernel with
+  two bodies (per-node contributions, then edge gathers) separated by a
+  device-wide barrier (§III-G);
+* **host-device iteration** — SSSP launches Bellman-Ford relaxation sweeps
+  until a changed-flag in device memory stays clear, each sweep pointer-
+  chasing CSR edge lists with global atomic-min updates.
+
+Run:  python examples/graph_analytics.py [nodes]
+"""
+
+import sys
+
+from repro.workloads import graph
+from repro.workloads.base import make_platform
+
+
+def main() -> None:
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    data = graph.generate(nodes, avg_degree=8)
+    print(f"power-law digraph: {nodes} nodes, {data.out_csr.nnz} edges\n")
+
+    platform = make_platform()
+    pr = graph.run_ndp_pagerank(platform, data, iterations=3)
+    print("PageRank (3 iterations, two-body kernel):")
+    print(f"  correct vs numpy reference: {pr.correct}")
+    print(f"  runtime: {pr.runtime_ns / 1e3:.1f} µs, "
+          f"{pr.instructions} instructions, {pr.uthreads} µthreads")
+
+    platform = make_platform()
+    sp = graph.run_ndp_sssp(platform, data)
+    print("\nSSSP (Bellman-Ford sweeps with amomin.w relaxation):")
+    print(f"  correct vs reference: {sp.correct}")
+    print(f"  converged after {sp.extras['sweeps']} sweeps")
+    print(f"  runtime: {sp.runtime_ns / 1e3:.1f} µs")
+
+
+if __name__ == "__main__":
+    main()

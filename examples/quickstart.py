@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: VectorAdd on an M2NDP-enabled CXL memory expander.
+
+This is the paper's Fig 4 running example end to end:
+
+1. build a simulated CXL-M2NDP device and a host runtime;
+2. place two vectors in host-managed device memory (HDM);
+3. write the NDP kernel in RISC-V/RVV assembly — each µthread is
+   *memory-mapped* to a 32 B slice of A (its address arrives in x1, the
+   offset in x2) and computes one slice of C = A + B;
+4. register + launch it through M2func (CXL.mem write, fence, read) and
+   read back the result.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.host import M2NDPRuntime, pack_args
+from repro.ndp import M2NDPDevice
+from repro.sim import Simulator
+
+VECADD = """
+.body
+    ld      x4, 0(x3)        // kernel args (scratchpad): base of B
+    ld      x5, 8(x3)        //                           base of C
+    vle64.v v1, (x1)         // my 32 B slice of A (4 x i64)
+    add     x4, x4, x2
+    vle64.v v2, (x4)         // matching slice of B
+    vadd.vv v3, v1, v2
+    add     x5, x5, x2
+    vse64.v v3, (x5)         // C slice
+    ret
+"""
+
+
+def main() -> None:
+    sim = Simulator()
+    device = M2NDPDevice(sim)
+    runtime = M2NDPRuntime(device)
+
+    n = 65_536
+    a = np.arange(n, dtype=np.int64)
+    b = np.arange(n, dtype=np.int64)[::-1].copy()
+    addr_a = runtime.alloc_array(a)
+    addr_b = runtime.alloc_array(b)
+    addr_c = runtime.alloc(n * 8)
+
+    print(f"launching VectorAdd over {n} elements "
+          f"({n * 8 // 1024} KiB per vector) ...")
+    instance = runtime.run_kernel(
+        VECADD,
+        pool_base=addr_a,
+        pool_bound=addr_a + n * 8,       # µthread pool region = A
+        args=pack_args(addr_b, addr_c),
+        name="vecadd",
+    )
+
+    c = runtime.read_array(addr_c, np.int64, n)
+    assert np.array_equal(c, a + b), "NDP result mismatch!"
+
+    bw = device.stats.get("cxl_dram.bytes") / instance.runtime_ns
+    peak = device.dram.peak_bw_bytes_per_ns
+    print(f"  result correct: True")
+    print(f"  µthreads spawned: {instance.uthreads_done}")
+    print(f"  instructions executed: {instance.instructions}")
+    print(f"  kernel runtime: {instance.runtime_ns / 1e3:.2f} µs")
+    print(f"  internal DRAM bandwidth: {bw:.1f} GB/s "
+          f"({bw / peak:.0%} of peak — the paper reports 90.7%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate any paper figure/table from the command line.
+
+Usage:
+    python examples/reproduce_figure.py            # list experiments
+    python examples/reproduce_figure.py fig10a     # run one
+    python examples/reproduce_figure.py all        # run everything
+"""
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("\nusage: python examples/reproduce_figure.py <name>|all")
+        return
+
+    targets = list(EXPERIMENTS) if sys.argv[1] == "all" else sys.argv[1:]
+    for name in targets:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(EXPERIMENTS)}")
+            sys.exit(1)
+        start = time.time()
+        result = EXPERIMENTS[name]()
+        print(result.render())
+        print(f"({time.time() - start:.1f}s)\n")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:   # e.g. piped into `head`
+        pass

@@ -1,0 +1,20 @@
+"""Analysis helpers: roofline (Fig 1a), speedup tables, latency stats."""
+
+from repro.analysis.roofline import (
+    FIG1A_WORKLOADS,
+    RooflinePoint,
+    fig1a_table,
+    max_slowdown,
+    mean_slowdown,
+)
+from repro.analysis.speedup import SpeedupRow, SpeedupTable
+
+__all__ = [
+    "FIG1A_WORKLOADS",
+    "RooflinePoint",
+    "SpeedupRow",
+    "SpeedupTable",
+    "fig1a_table",
+    "max_slowdown",
+    "mean_slowdown",
+]

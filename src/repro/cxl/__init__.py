@@ -1,0 +1,28 @@
+"""CXL interconnect models: protocol, link, packet filter, HDM, switch."""
+
+from repro.cxl.hdm import HDMCoherence
+from repro.cxl.link import CXLLink
+from repro.cxl.packet_filter import ENTRY_BYTES, FilterEntry, PacketFilter
+from repro.cxl.protocol import (
+    HEADER_BYTES,
+    CXLPacket,
+    LoadToUseProfile,
+    PacketType,
+    PortLatencyBreakdown,
+)
+from repro.cxl.switch import SWITCH_HOP_NS, CXLSwitch
+
+__all__ = [
+    "CXLLink",
+    "CXLPacket",
+    "CXLSwitch",
+    "ENTRY_BYTES",
+    "FilterEntry",
+    "HDMCoherence",
+    "HEADER_BYTES",
+    "LoadToUseProfile",
+    "PacketFilter",
+    "PacketType",
+    "PortLatencyBreakdown",
+    "SWITCH_HOP_NS",
+]

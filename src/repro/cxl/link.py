@@ -1,0 +1,90 @@
+"""CXL link timing: latency plus per-direction bandwidth.
+
+A CXL 3.0 x8 link moves 64 GB/s in each direction (Table IV).  Each
+direction is a :class:`~repro.sim.engine.BandwidthServer`; messages pay the
+one-way port latency and occupy the direction for ``wire_bytes /
+bandwidth``.  This makes the link the bottleneck for bandwidth-hungry
+passive-memory baselines — the core phenomenon of Fig 1a — while staying
+cheap for the sparse traffic of M2func calls.
+"""
+
+from __future__ import annotations
+
+from repro.config import CXLConfig
+from repro.cxl.protocol import CXLPacket, PacketType
+from repro.sim.engine import BandwidthServer
+from repro.sim.stats import StatsRegistry
+
+
+class CXLLink:
+    """Bidirectional CXL link between one host port and one device port."""
+
+    def __init__(
+        self,
+        config: CXLConfig | None = None,
+        stats: StatsRegistry | None = None,
+        stats_prefix: str = "cxl",
+    ) -> None:
+        self.config = config if config is not None else CXLConfig()
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.prefix = stats_prefix
+        self._down = BandwidthServer(self.config.bw_per_dir_bytes_per_ns)  # host→dev
+        self._up = BandwidthServer(self.config.bw_per_dir_bytes_per_ns)    # dev→host
+
+    # ------------------------------------------------------------------
+
+    @property
+    def one_way_ns(self) -> float:
+        return self.config.one_way_ns
+
+    def send_to_device(self, now_ns: float, packet: CXLPacket) -> float:
+        """Transmit host→device; returns arrival time at the device port."""
+        finish = self._down.transfer(now_ns, packet.wire_bytes)
+        self.stats.add(f"{self.prefix}.down_bytes", packet.wire_bytes)
+        self.stats.add(f"{self.prefix}.down_msgs")
+        return finish + self.one_way_ns
+
+    def send_to_host(self, now_ns: float, packet: CXLPacket) -> float:
+        """Transmit device→host; returns arrival time at the host port."""
+        finish = self._up.transfer(now_ns, packet.wire_bytes)
+        self.stats.add(f"{self.prefix}.up_bytes", packet.wire_bytes)
+        self.stats.add(f"{self.prefix}.up_msgs")
+        return finish + self.one_way_ns
+
+    # -- convenience round trips -------------------------------------------
+
+    def read_round_trip(self, now_ns: float, addr: int, size: int = 64) -> float:
+        """Host read of ``size`` bytes: request down, data response up."""
+        request = CXLPacket(PacketType.MEM_RD, addr, size)
+        at_device = self.send_to_device(now_ns, request)
+        response = CXLPacket(PacketType.MEM_RD_RESP, addr, size, data=b"\0" * size)
+        return self.send_to_host(at_device, response)
+
+    def write_round_trip(self, now_ns: float, addr: int, data: bytes) -> float:
+        """Host write: data down, ACK (NDR) up."""
+        request = CXLPacket(PacketType.MEM_WR, addr, len(data), data=data)
+        at_device = self.send_to_device(now_ns, request)
+        ack = CXLPacket(PacketType.MEM_WR_ACK, addr, 0)
+        return self.send_to_host(at_device, ack)
+
+    def back_invalidate_round_trip(self, now_ns: float, addr: int,
+                                   dirty: bool) -> float:
+        """Device-initiated BI snoop; dirty lines return 64 B of data."""
+        snoop = CXLPacket(PacketType.BI_SNP, addr, 0)
+        at_host = self.send_to_host(now_ns, snoop)
+        if dirty:
+            response = CXLPacket(PacketType.MEM_WR, addr, 64, data=b"\0" * 64)
+        else:
+            response = CXLPacket(PacketType.BI_RSP, addr, 0)
+        return self.send_to_device(at_host, response)
+
+    # ------------------------------------------------------------------
+
+    def bytes_moved(self) -> float:
+        return self.stats.get(f"{self.prefix}.down_bytes") + self.stats.get(
+            f"{self.prefix}.up_bytes"
+        )
+
+    def reset(self) -> None:
+        self._down.reset()
+        self._up.reset()

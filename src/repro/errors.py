@@ -1,0 +1,60 @@
+"""Exception types shared across the repro package.
+
+Keeping all error classes in one module lets callers catch a single
+:class:`ReproError` for any library-level failure while still allowing
+precise handling of specific conditions (bad assembly, invalid launch
+arguments, protocol violations, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class MemoryError_(ReproError):
+    """Physical/virtual memory subsystem failure (bad address, overlap)."""
+
+
+class TranslationFault(MemoryError_):
+    """Virtual address has no mapping for the requesting ASID."""
+
+    def __init__(self, asid: int, vaddr: int):
+        super().__init__(f"no translation for ASID {asid:#x} vaddr {vaddr:#x}")
+        self.asid = asid
+        self.vaddr = vaddr
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly source (unknown mnemonic, bad operand, ...)."""
+
+    def __init__(self, message: str, line_no: int | None = None, line: str | None = None):
+        location = f" (line {line_no}: {line!r})" if line_no is not None else ""
+        super().__init__(message + location)
+        self.line_no = line_no
+        self.line = line
+
+
+class ExecutionError(ReproError):
+    """A µthread performed an illegal operation at runtime."""
+
+
+class ProtocolError(ReproError):
+    """CXL protocol misuse (malformed packet, illegal M2func call)."""
+
+
+class LaunchError(ReproError):
+    """NDP kernel registration/launch failed (mirrors Table II ERR codes)."""
+
+    def __init__(self, message: str, code: int = -1):
+        super().__init__(message)
+        self.code = code
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""

@@ -1,0 +1,95 @@
+"""Shared experiment plumbing: result containers and paper reference data.
+
+Every experiment returns an :class:`ExperimentResult` whose rows are plain
+dicts; benchmarks print them, EXPERIMENTS.md records them against the
+paper's numbers (kept here in ``PAPER_REFERENCE`` so comparisons live in
+one place).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one figure/table reproduction."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def column(self, key: str) -> list:
+        return [row[key] for row in self.rows if key in row]
+
+    def render(self) -> str:
+        if not self.rows:
+            return f"[{self.experiment_id}] {self.title}: (no rows)"
+        keys: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        header = " | ".join(f"{k:>14}" for k in keys)
+        lines = [f"[{self.experiment_id}] {self.title}", header,
+                 "-" * len(header)]
+        for row in self.rows:
+            cells = []
+            for k in keys:
+                v = row.get(k, "")
+                if isinstance(v, float):
+                    cells.append(f"{v:>14.3f}")
+                else:
+                    cells.append(f"{str(v):>14}")
+            lines.append(" | ".join(cells))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+#: Headline numbers from the paper, for EXPERIMENTS.md comparisons.
+PAPER_REFERENCE = {
+    "fig1a": {"max_slowdown": 9.9, "avg_slowdown": 6.3},
+    "fig1b": {"p95_ratio_150": 2.2, "p95_ratio_600": 7.4},
+    "fig5": {"m2func_reduction_vs_rb_min": 0.17, "m2func_reduction_vs_rb_max": 0.37},
+    "fig6a": {"active_ratio_gain_min": 0.159, "active_ratio_gain_max": 0.509},
+    "fig6b": {"global_traffic_ratio": 0.90, "spad_traffic_ratio": 0.44},
+    "fig10a": {
+        "evaluate_speedup_gmean": 73.4,
+        "evaluate_speedup_max": 128.0,
+        "cpu_ndp_gap": 1.342,          # M2NDP over CPU-NDP
+        "ideal_gap": 1.103,            # Ideal over M2NDP (within 10.3 %)
+        "dram_bw_utilization": 0.907,
+    },
+    "fig10b": {"p95_improvement": 1.382, "vs_cxl_io_rb": 4.79},
+    "fig10c": {
+        "m2ndp_gmean": 6.35,
+        "m2ndp_max": 9.71,
+        "gpu_ndp_iso_flops_gmean": 3.25,
+        "gpu_ndp_4x_gmean": 5.12,
+        "gpu_ndp_16x_gmean": 5.11,
+        "gpu_ndp_iso_area_gmean": 4.49,
+        "nsu_gmean": 0.97,
+    },
+    "fig11b": {"latency_gain_max": 1.63, "kvs_throughput_gain": 47.3},
+    "fig12a": {
+        "wo_m2func_max": 2.41, "wo_finegrained_max": 1.506,
+        "wo_addr_opt_max": 1.202,
+        "static_instr_reduction": (0.0328, 0.176),
+    },
+    "fig12b": {"speedup_8dev_dlrm": 7.84, "speedup_8dev_opt30b": 7.69,
+               "speedup_8dev_opt27b": 6.45},
+    "fig13a": {"slowdown_1ghz": 0.90, "speedup_3ghz": 1.025,
+               "gmean_2xltu": 13.1, "gmean_4xltu": 19.4},
+    "fig13b": {"impact_range": (0.031, 0.265)},
+    "fig14a": {"dsa_gap_avg": 0.065},
+    "fig14b": {"speedup_8mem_range": (6.39, 7.38)},
+    "fig15": {"energy_reduction_olap": 0.839, "energy_reduction_gpu": 0.782,
+              "perf_per_energy_max": 106.0, "perf_per_energy_avg": 32.0},
+    "area": {"ndp_unit_mm2": 0.83, "total_mm2": 26.4,
+             "rf_reduction": 0.81, "alu_reduction": 0.69},
+}

@@ -1,0 +1,216 @@
+"""Fig 12: ablation study and multi-device scaling.
+
+(a) Ablations: M2func → CXL.io ring buffer; fine-grained µthread spawning →
+coarse (all 16 slots of a sub-core at once, GPU-threadblock-like); scalar
+address optimization → SIMT-style index arithmetic (extra per-µthread
+instructions).
+
+(b) Scaling to 1-8 CXL-M2NDP devices with SW-partitioned data (§III-I):
+per-device kernels shrink linearly; OPT adds an all-reduce over the switch.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cxl.switch import CXLSwitch
+from repro.experiments.common import ExperimentResult
+from repro.host.offload import CXL_IO_ONE_WAY_NS
+from repro.workloads import dlrm, graph, histogram, llm
+from repro.workloads.base import make_platform, scale
+
+#: Extra per-µthread instructions when the memory-mapped x1/x2 ABI is
+#: replaced by threadblock-style index arithmetic (§III-D A1: the paper
+#: measures 3.28-17.6 % static instruction increase).
+ADDR_CALC_EXTRA_INSTRS = 4
+
+
+def _inflate_addressing(source: str) -> str:
+    """Insert SIMT-style index-arithmetic instructions at each body start.
+
+    ``add x0, x0, x0`` retires without architectural effect (x0 is
+    hardwired) but charges dispatch and ALU slots exactly like the mul/add
+    chains a threadblock-indexed kernel would execute.
+    """
+    filler = "\n".join(["    add x0, x0, x0"] * ADDR_CALC_EXTRA_INSTRS)
+    return re.sub(r"(?m)^\.body\s*$", ".body\n" + filler, source)
+
+
+def run_fig12a(scale_name: str = "small") -> ExperimentResult:
+    preset = scale(scale_name)
+    result = ExperimentResult(
+        "fig12a", "Ablation: runtime normalized to full M2NDP"
+    )
+
+    cases = {
+        "HISTO4096": lambda p, inflate: _histo_run(p, preset, inflate),
+        "DLRM-B32": lambda p, inflate: _dlrm_run(p, preset, inflate),
+        "PGRANK": lambda p, inflate: _pgrank_run(p, preset, inflate),
+    }
+    for name, run_fn in cases.items():
+        base = run_fn(make_platform(), False)
+        coarse = run_fn(make_platform(spawn_granularity=16), False)
+        no_addr = run_fn(make_platform(), True)
+        # w/o M2func: same kernel, launched through the ring buffer — adds
+        # the Fig 5b pre/post overheads to every launch.
+        rb_overhead = 8 * CXL_IO_ONE_WAY_NS
+        result.add(
+            workload=name,
+            wo_m2func=(base.runtime_ns + rb_overhead * base.instance_count)
+            / base.runtime_ns,
+            wo_finegrained=coarse.runtime_ns / base.runtime_ns,
+            wo_addr_opt=no_addr.runtime_ns / base.runtime_ns,
+            correct=base.correct and coarse.correct and no_addr.correct,
+        )
+    result.notes = (
+        "paper: w/o M2func up to 2.41x (GMEAN 1.09), w/o fine-grained up to "
+        "1.51x (1.08), w/o addr opt up to 1.20x (1.02)"
+    )
+    return result
+
+
+def _histo_run(platform, preset, inflate: bool):
+    from repro.kernels.histogram import HISTOGRAM
+    data = histogram.generate(preset.elements // 2, 4096)
+    if not inflate:
+        return histogram.run_ndp(platform, data)
+    # re-run with the inflated kernel source
+    import repro.workloads.histogram as hmod
+    import repro.kernels.histogram as kmod
+    original = kmod.HISTOGRAM
+    kmod.HISTOGRAM = _inflate_addressing(original)
+    hmod.HISTOGRAM = kmod.HISTOGRAM
+    try:
+        return hmod.run_ndp(platform, data)
+    finally:
+        kmod.HISTOGRAM = original
+        hmod.HISTOGRAM = original
+
+
+def _dlrm_run(platform, preset, inflate: bool):
+    import repro.workloads.dlrm as dmod
+    import repro.kernels.dlrm as kmod
+    data = dlrm.generate(preset.dlrm_rows, batch=32, dim=128, lookups=24)
+    if not inflate:
+        return dmod.run_ndp(platform, data)
+    original = kmod.DLRM_SLS
+    kmod.DLRM_SLS = _inflate_addressing(original)
+    dmod.DLRM_SLS = kmod.DLRM_SLS
+    try:
+        return dmod.run_ndp(platform, data)
+    finally:
+        kmod.DLRM_SLS = original
+        dmod.DLRM_SLS = original
+
+
+def _pgrank_run(platform, preset, inflate: bool):
+    import repro.workloads.graph as gmod
+    import repro.kernels.graph as kmod
+    data = graph.generate(preset.nodes // 2, preset.avg_degree)
+    if not inflate:
+        return gmod.run_ndp_pagerank(platform, data, iterations=1)
+    original = kmod.PAGERANK_ITER
+    kmod.PAGERANK_ITER = _inflate_addressing(original)
+    gmod.PAGERANK_ITER = kmod.PAGERANK_ITER
+    try:
+        return gmod.run_ndp_pagerank(platform, data, iterations=1)
+    finally:
+        kmod.PAGERANK_ITER = original
+        gmod.PAGERANK_ITER = original
+
+
+def static_instruction_savings() -> ExperimentResult:
+    """§III-D claim: memory-mapped µthreads cut static instruction count by
+    3.28-17.6 % vs threadblock-index address calculation."""
+    from repro.isa.assembler import assemble_kernel
+    from repro.kernels import KERNEL_LIBRARY
+
+    result = ExperimentResult(
+        "instr_savings", "Static instruction reduction from memory mapping"
+    )
+    for name in ("eval_range_i32", "histogram", "spmv_csr", "pagerank_iter",
+                 "sssp_relax", "dlrm_sls", "gemv_f32", "kvs_get"):
+        base = assemble_kernel(KERNEL_LIBRARY[name], name=name)
+        inflated = assemble_kernel(
+            _inflate_addressing(KERNEL_LIBRARY[name]), name=name
+        )
+        saved = 1.0 - base.static_instruction_count / inflated.static_instruction_count
+        result.add(kernel=name,
+                   mapped_instrs=base.static_instruction_count,
+                   indexed_instrs=inflated.static_instruction_count,
+                   reduction=saved)
+    result.notes = "paper: 3.28-17.6% static instruction reduction"
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig 12b — multi-device scaling
+# ---------------------------------------------------------------------------
+
+def run_fig12b(scale_name: str = "small",
+               device_counts: tuple[int, ...] = (1, 2, 4, 8),
+               ) -> ExperimentResult:
+    preset = scale(scale_name)
+    result = ExperimentResult(
+        "fig12b", "Scaling with multiple CXL-M2NDP devices (model parallel)"
+    )
+
+    workloads = {
+        "DLRM-B256": ("dlrm", dlrm.generate(preset.dlrm_rows,
+                                            batch=preset.dlrm_batch_cap * 4,
+                                            dim=128, lookups=24)),
+        "OPT-2.7B": ("llm", llm.generate(llm.OPT_2_7B,
+                                         sim_hidden=preset.llm_hidden,
+                                         sim_layers=preset.llm_layers)),
+        "OPT-30B": ("llm", llm.generate(llm.OPT_30B,
+                                        sim_hidden=int(preset.llm_hidden * 1.25),
+                                        sim_layers=preset.llm_layers)),
+    }
+    for name, (kind, data) in workloads.items():
+        single = _partitioned_run(kind, data, fraction=1.0)
+        row = {"workload": name}
+        for n in device_counts:
+            per_device = _partitioned_run(kind, data, fraction=1.0 / n)
+            total = per_device + _allreduce_ns(kind, data, n)
+            row[f"x{n}"] = single / total
+        result.add(**row)
+    result.notes = (
+        "paper: 7.84x (DLRM) / 7.69x (OPT-30B) / 6.45x (OPT-2.7B) at 8 devices"
+    )
+    return result
+
+
+def _partitioned_run(kind: str, data, fraction: float) -> float:
+    """Run one device's share of the partitioned workload."""
+    platform = make_platform()
+    if kind == "dlrm":
+        batch = max(1, int(data.batch * fraction))
+        part = dlrm.generate(data.table.shape[0], batch=batch,
+                             dim=data.dim, lookups=data.lookups)
+        return dlrm.run_ndp(platform, part).runtime_ns
+    rows = data.weights.shape[0]
+    part_rows = max(32, int(rows * fraction) // 8 * 8)
+    sub = llm.GEMVData(
+        weights=data.weights[:part_rows],
+        x=data.x,
+        reference=data.reference[:part_rows],
+        model=data.model,
+        sim_bytes=data.weights[:part_rows].nbytes,
+    )
+    return llm.run_ndp(platform, sub).runtime_ns
+
+
+def _allreduce_ns(kind: str, data, num_devices: int) -> float:
+    """All-reduce of partial activations over the CXL switch (P2P)."""
+    if kind != "llm" or num_devices <= 1:
+        return 0.0
+    switch = CXLSwitch(num_downstream=num_devices)
+    # scaled to the simulated model slice, not the full model
+    sim_hidden = data.weights.shape[1]
+    sim_layers = max(1, data.weights.shape[0] // (12 * sim_hidden))
+    bytes_per_hop = 2 * sim_layers * sim_hidden * 4
+    done = 0.0
+    for step in range(num_devices - 1):
+        done = switch.peer_to_peer(done, step % num_devices,
+                                   (step + 1) % num_devices, bytes_per_hop)
+    return done

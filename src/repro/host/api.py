@@ -1,0 +1,321 @@
+"""User-level host API for M2NDP (Table II).
+
+The runtime exposes the five NDP management functions as high-level calls —
+``ndpRegisterKernel`` … ``ndpShootdownTlbEntry`` — hiding the M2func
+mechanics: each call is a CXL.mem *write* carrying the arguments to the
+function's offset in the process's M2func region, a fence, then a CXL.mem
+*read* of the same address to fetch the return value (§III-B/C).
+
+Two calling styles:
+
+* **blocking** (`register_kernel`, `launch_kernel(sync=True)`, ...) — steps
+  the shared simulator until the response arrives; natural for linear
+  scripts and examples.
+* **non-blocking** (`call_async`, `launch_async`) — issues the packets and
+  invokes callbacks from simulator events; used by open-loop experiments
+  (KVStore latency/throughput sweeps) that have many requests in flight.
+
+The runtime also plays the role of the host driver and allocator: it
+registers the process's M2func region in the packet filter (the one-time
+CXL.io step), allocates HDM with identity virtual mappings, and pre-warms
+the DRAM-TLB as the paper's methodology assumes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import LaunchError, SimulationError
+from repro.isa.assembler import KernelProgram, assemble_kernel
+from repro.ndp.controller import (
+    FUNC_LAUNCH,
+    FUNC_POLL,
+    FUNC_REGISTER,
+    FUNC_SHOOTDOWN,
+    FUNC_STRIDE_SHIFT,
+    FUNC_UNREGISTER,
+)
+from repro.ndp.device import M2NDPDevice
+from repro.ndp.kernel import KernelStatus
+
+#: Host-side latency of an uncached store/load reaching the CXL port
+#: (no cache-miss machinery for the uncacheable M2func region).
+HOST_UNCACHED_PATH_NS = 5.0
+
+#: Default M2func region: 64 KB per process, paper's example base.
+M2FUNC_REGION_BYTES = 0x10000
+M2FUNC_DEFAULT_BASE = 0x00FF0000
+
+#: Data allocations start above the scratchpad window and M2func regions.
+HDM_HEAP_BASE = 0x2000_0000
+
+
+@dataclass
+class M2Call:
+    """Future for one M2func call (write + fence + read)."""
+
+    func: int
+    issued_ns: float
+    ack_ns: float | None = None
+    value: int | None = None
+    done_ns: float | None = None
+    _callbacks: list[Callable[["M2Call"], None]] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.done_ns is not None
+
+    def on_done(self, callback: Callable[["M2Call"], None]) -> None:
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _complete(self, value: int, when_ns: float) -> None:
+        self.value = value
+        self.done_ns = when_ns
+        for callback in self._callbacks:
+            callback(self)
+        self._callbacks.clear()
+
+
+@dataclass
+class LaunchHandle:
+    """Tracks one kernel launch end to end."""
+
+    call: M2Call
+    instance_id: int | None = None
+    complete_ns: float | None = None  # host-observed completion
+
+    @property
+    def finished(self) -> bool:
+        return self.complete_ns is not None
+
+
+class HDMAllocator:
+    """Bump allocator over the device's HDM with identity virtual mapping."""
+
+    def __init__(self, device: M2NDPDevice, asid: int,
+                 base: int = HDM_HEAP_BASE) -> None:
+        self.device = device
+        self.asid = asid
+        self._cursor = base
+
+    def alloc(self, size: int, align: int = 4096) -> int:
+        """Reserve ``size`` bytes; maps pages identity and warms the DRAM-TLB."""
+        if size <= 0:
+            raise LaunchError(f"allocation size must be positive, got {size}")
+        addr = (self._cursor + align - 1) // align * align
+        self._cursor = addr + size
+        table = self.device.page_table(self.asid)
+        table.map_identity(addr, size)
+        self.device.dram_tlb.warm_range(self.asid, addr, size, table)
+        return addr
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._cursor - HDM_HEAP_BASE
+
+
+def pack_args(*values: int) -> bytes:
+    """Pack kernel arguments as little-endian u64 words."""
+    return b"".join(struct.pack("<Q", v & 0xFFFFFFFFFFFFFFFF) for v in values)
+
+
+class M2NDPRuntime:
+    """Per-process handle to one CXL-M2NDP device."""
+
+    def __init__(self, device: M2NDPDevice, asid: int = 0x7,
+                 m2func_base: int | None = None) -> None:
+        self.device = device
+        self.sim = device.sim
+        self.asid = asid
+        base = m2func_base if m2func_base is not None else (
+            M2FUNC_DEFAULT_BASE + asid * M2FUNC_REGION_BYTES
+        )
+        # One-time driver step over CXL.io: insert the region into the
+        # packet filter.  After this, CXL.io is never used again (§III-B).
+        self.filter_entry = device.packet_filter.insert(
+            asid, base, base + M2FUNC_REGION_BYTES
+        )
+        self.allocator = HDMAllocator(device, asid)
+        self.now = 0.0
+        self._next_code_loc = 0x0100_0000 + asid * 0x0010_0000
+
+    # ------------------------------------------------------------------
+    # memory helpers (functional setup of workload data in HDM)
+    # ------------------------------------------------------------------
+
+    def alloc(self, size: int, align: int = 4096) -> int:
+        return self.allocator.alloc(size, align)
+
+    def alloc_array(self, array: np.ndarray, align: int = 4096) -> int:
+        addr = self.alloc(array.nbytes, align)
+        self.device.physical.store_array(addr, array)
+        return addr
+
+    def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
+        return self.device.physical.load_array(addr, dtype, count)
+
+    # ------------------------------------------------------------------
+    # low-level M2func machinery
+    # ------------------------------------------------------------------
+
+    def _func_addr(self, func: int) -> int:
+        return self.filter_entry.base + (func << FUNC_STRIDE_SHIFT)
+
+    def call_async(self, func: int, payload: bytes,
+                   at_ns: float | None = None) -> M2Call:
+        """Issue write → fence → read; the returned future resolves with the
+        function's return value at host-observed time."""
+        start = self.now if at_ns is None else at_ns
+        addr = self._func_addr(func)
+        call = M2Call(func=func, issued_ns=start)
+
+        ack_time = self.device.host_write(
+            start + HOST_UNCACHED_PATH_NS, addr, payload
+        )
+        call.ack_ns = ack_time
+
+        def issue_read() -> None:
+            def on_response(data: bytes, when_ns: float) -> None:
+                value = struct.unpack("<q", data[:8])[0]
+                call._complete(value, when_ns + HOST_UNCACHED_PATH_NS)
+
+            self.device.host_read(
+                self.sim.now + HOST_UNCACHED_PATH_NS, addr, 8, on_response
+            )
+
+        # The fence orders the read after the write's ack.
+        self.sim.schedule_at(ack_time, issue_read)
+        return call
+
+    def _await(self, call: M2Call) -> int:
+        """Step the simulator until the call resolves (blocking style)."""
+        while not call.done:
+            if not self.sim.step():
+                raise SimulationError(
+                    f"M2func call {call.func} never completed (deadlock?)"
+                )
+        self.now = max(self.now, call.done_ns or 0.0)
+        assert call.value is not None
+        return call.value
+
+    # ------------------------------------------------------------------
+    # Table II API — blocking style
+    # ------------------------------------------------------------------
+
+    def register_kernel(self, kernel: KernelProgram | str,
+                        scratchpad_bytes: int = 0,
+                        name: str = "kernel") -> int:
+        """ndpRegisterKernel: returns the kernel ID (or raises on ERR)."""
+        if isinstance(kernel, str):
+            kernel = assemble_kernel(kernel, name=name)
+        code_loc = self._next_code_loc
+        self._next_code_loc += 0x1000
+        self.device.install_code(code_loc, kernel)
+        usage = kernel.usage
+        payload = pack_args(code_loc, scratchpad_bytes, usage.int_regs,
+                            usage.float_regs, usage.vector_regs)
+        value = self._await(self.call_async(FUNC_REGISTER, payload))
+        if value < 0:
+            raise LaunchError(f"ndpRegisterKernel failed with {value}", value)
+        return value
+
+    def unregister_kernel(self, kernel_id: int) -> None:
+        value = self._await(
+            self.call_async(FUNC_UNREGISTER, pack_args(kernel_id))
+        )
+        if value < 0:
+            raise LaunchError(f"ndpUnregisterKernel failed with {value}", value)
+
+    def launch_kernel(self, kernel_id: int, pool_base: int, pool_bound: int,
+                      args: bytes = b"", sync: bool = True,
+                      stride: int = 32) -> LaunchHandle:
+        """ndpLaunchKernel (blocking).
+
+        With ``sync=True`` the return-value read responds only after the
+        kernel finishes, so this returns with the kernel done and
+        ``handle.complete_ns`` set.  With ``sync=False`` it returns as soon
+        as the instance ID is known.
+        """
+        handle = self.launch_async(kernel_id, pool_base, pool_bound, args,
+                                   sync=sync, stride=stride)
+        self._await(handle.call)
+        if handle.call.value is not None and handle.call.value < 0:
+            raise LaunchError(
+                f"ndpLaunchKernel failed with {handle.call.value}",
+                handle.call.value,
+            )
+        handle.instance_id = handle.call.value
+        if sync:
+            handle.complete_ns = handle.call.done_ns
+        return handle
+
+    def launch_async(self, kernel_id: int, pool_base: int, pool_bound: int,
+                     args: bytes = b"", sync: bool = False, stride: int = 32,
+                     at_ns: float | None = None,
+                     on_complete: Callable[[LaunchHandle], None] | None = None,
+                     ) -> LaunchHandle:
+        """ndpLaunchKernel (non-blocking): callbacks fire from sim events."""
+        payload = pack_args(int(sync), kernel_id, pool_base, pool_bound,
+                            stride, len(args)) + args
+        call = self.call_async(FUNC_LAUNCH, payload, at_ns=at_ns)
+        handle = LaunchHandle(call=call)
+
+        def on_value(resolved: M2Call) -> None:
+            if resolved.value is None or resolved.value < 0:
+                return
+            handle.instance_id = resolved.value
+            if sync:
+                handle.complete_ns = resolved.done_ns
+                if on_complete is not None:
+                    on_complete(handle)
+            else:
+                def kernel_done(when_ns: float) -> None:
+                    handle.complete_ns = when_ns
+                    if on_complete is not None:
+                        on_complete(handle)
+
+                self.device.controller.add_completion_waiter(
+                    handle.instance_id, kernel_done
+                )
+
+        call.on_done(on_value)
+        return handle
+
+    def poll_kernel_status(self, instance_id: int) -> KernelStatus:
+        value = self._await(self.call_async(FUNC_POLL, pack_args(instance_id)))
+        if value < 0:
+            raise LaunchError(f"ndpPollKernelStatus failed with {value}", value)
+        return KernelStatus(value)
+
+    def shootdown_tlb(self, asid: int, vpn: int) -> None:
+        value = self._await(
+            self.call_async(FUNC_SHOOTDOWN, pack_args(asid, vpn))
+        )
+        if value < 0:
+            raise LaunchError(f"ndpShootdownTlbEntry failed with {value}", value)
+
+    # ------------------------------------------------------------------
+
+    def wait_all(self) -> float:
+        """Drain the simulator (finish all outstanding work); returns time."""
+        self.sim.run()
+        self.now = max(self.now, self.sim.now)
+        return self.now
+
+    def run_kernel(self, source: str | KernelProgram, pool_base: int,
+                   pool_bound: int, args: bytes = b"",
+                   scratchpad_bytes: int = 0, stride: int = 32,
+                   name: str = "kernel"):
+        """Register + launch synchronously; returns the finished instance."""
+        kid = self.register_kernel(source, scratchpad_bytes, name=name)
+        handle = self.launch_kernel(kid, pool_base, pool_bound, args,
+                                    sync=True, stride=stride)
+        assert handle.instance_id is not None
+        return self.device.controller.instances[handle.instance_id]

@@ -1,0 +1,57 @@
+"""NSU baseline: GPU-like NDP with host-generated addresses.
+
+Models prior work [81] ("Toward standardized near-data processing with
+unrestricted data placement for GPUs") in which the *host* translates and
+generates every memory address for the NDP units and streams the resulting
+command packets over the interconnect.  Fig 10c shows this performing worse
+than the baseline on average (GMEAN 0.97x): the CXL link becomes the
+bottleneck because all addresses cross it.
+
+Runtime model::
+
+    t = max(internal work, command traffic over the link, host issue rate)
+
+where command traffic = one descriptor (address + opcode, ~16 B) per NDP
+memory access plus returned results for loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CXLConfig
+
+#: Link bytes per offloaded access descriptor: a 16 B address/opcode/tag
+#: descriptor plus its 16 B flit-slot overhead — roughly the data size of
+#: the 32 B access it requests, which is why the link saturates.
+COMMAND_BYTES = 32
+
+
+@dataclass
+class NSUWorkload:
+    """Traffic summary of one kernel from the NSU's perspective."""
+
+    ndp_accesses: int            # memory operations the NDP units perform
+    read_bytes: int              # data the kernel loads (results stay local)
+    result_bytes: int            # data returned to the host (usually small)
+
+
+class NSUModel:
+    """Analytic runtime for the host-address-generation NDP baseline."""
+
+    def __init__(self, config: CXLConfig | None = None,
+                 internal_bw_bytes_per_ns: float = 409.6,
+                 host_issue_rate_per_ns: float = 4.0) -> None:
+        self.config = config if config is not None else CXLConfig()
+        self.internal_bw = internal_bw_bytes_per_ns
+        self.host_issue_rate = host_issue_rate_per_ns
+
+    def runtime_ns(self, workload: NSUWorkload) -> float:
+        link_bw = self.config.bw_per_dir_bytes_per_ns
+        command_ns = workload.ndp_accesses * COMMAND_BYTES / link_bw
+        result_ns = workload.result_bytes / link_bw
+        internal_ns = workload.read_bytes / self.internal_bw
+        host_ns = workload.ndp_accesses / self.host_issue_rate
+        return max(command_ns + result_ns, internal_ns, host_ns) + (
+            self.config.load_to_use_ns  # pipeline fill
+        )

@@ -1,0 +1,44 @@
+"""Modified RISC-V RV64IMAFD+V ISA: assembler, registers, executor."""
+
+from repro.isa.assembler import (
+    KernelProgram,
+    Program,
+    assemble,
+    assemble_kernel,
+    parse_operand,
+)
+from repro.isa.encoding import FUnit, Instruction, OpClass, OPCODES, OpSpec, spec_for
+from repro.isa.executor import ExecResult, MemAccess, MemoryInterface, execute
+from repro.isa.registers import (
+    RegisterUsage,
+    UThreadRegisters,
+    to_signed32,
+    to_signed64,
+    to_unsigned64,
+)
+from repro.isa.vector import VLEN_BITS, vlmax
+
+__all__ = [
+    "ExecResult",
+    "FUnit",
+    "Instruction",
+    "KernelProgram",
+    "MemAccess",
+    "MemoryInterface",
+    "OPCODES",
+    "OpClass",
+    "OpSpec",
+    "Program",
+    "RegisterUsage",
+    "UThreadRegisters",
+    "VLEN_BITS",
+    "assemble",
+    "assemble_kernel",
+    "execute",
+    "parse_operand",
+    "spec_for",
+    "to_signed32",
+    "to_signed64",
+    "to_unsigned64",
+    "vlmax",
+]

@@ -1,0 +1,53 @@
+"""Hand-written NDP kernels for every evaluated workload (§IV-B).
+
+The paper notes no RVV compiler targets M2NDP yet, so kernels were
+"implemented with assembly"; this package is that kernel library.
+``KERNEL_LIBRARY`` maps names to assembly sources for tooling and tests.
+"""
+
+from repro.kernels.dlrm import DLRM_SLS
+from repro.kernels.gemv import GEMV_F32
+from repro.kernels.graph import PAGERANK_ITER, SSSP_RELAX
+from repro.kernels.histogram import HISTOGRAM
+from repro.kernels.kvstore import KVS_GET, KVS_SET
+from repro.kernels.olap import EVAL_LT_I32, EVAL_RANGE_F64, EVAL_RANGE_I32, MASK_AND
+from repro.kernels.reduction import REDUCE_SUM_I64
+from repro.kernels.spmv import SPMV_CSR
+from repro.kernels.vecadd import VECADD, VECADD_F32
+
+KERNEL_LIBRARY: dict[str, str] = {
+    "vecadd": VECADD,
+    "vecadd_f32": VECADD_F32,
+    "reduce_sum_i64": REDUCE_SUM_I64,
+    "eval_range_i32": EVAL_RANGE_I32,
+    "eval_lt_i32": EVAL_LT_I32,
+    "eval_range_f64": EVAL_RANGE_F64,
+    "mask_and": MASK_AND,
+    "histogram": HISTOGRAM,
+    "spmv_csr": SPMV_CSR,
+    "pagerank_iter": PAGERANK_ITER,
+    "sssp_relax": SSSP_RELAX,
+    "dlrm_sls": DLRM_SLS,
+    "gemv_f32": GEMV_F32,
+    "kvs_get": KVS_GET,
+    "kvs_set": KVS_SET,
+}
+
+__all__ = [
+    "DLRM_SLS",
+    "EVAL_LT_I32",
+    "EVAL_RANGE_F64",
+    "EVAL_RANGE_I32",
+    "GEMV_F32",
+    "HISTOGRAM",
+    "KERNEL_LIBRARY",
+    "KVS_GET",
+    "KVS_SET",
+    "MASK_AND",
+    "PAGERANK_ITER",
+    "REDUCE_SUM_I64",
+    "SPMV_CSR",
+    "SSSP_RELAX",
+    "VECADD",
+    "VECADD_F32",
+]

@@ -1,0 +1,43 @@
+"""DLRM SparseLengthsSum (SLS) kernel (§IV-B).
+
+The embedding table lives in CXL memory; each request gathers L embedding
+rows and element-wise sums them.  The µthread pool region is the *output*
+array (the paper: "using the output vector of SLS as µthread pool
+region"): a µthread owns 8 f32 lanes of one request's output vector and
+walks that request's L indices, loading only its own 32 B lane slice of
+each embedding row — perfectly coalesced, no inter-thread communication.
+
+Arguments: [0] indices base (i64, L per request), [8] embedding base (f32
+rows), [16] lookups per request L, [24] row bytes (embedding_dim * 4).
+"""
+
+DLRM_SLS = """
+.body
+    ld   x4, 0(x3)        // indices base
+    ld   x5, 8(x3)        // embedding base
+    ld   x6, 16(x3)       // lookups per request (L)
+    ld   x7, 24(x3)       // row bytes
+    divu x8, x2, x7       // request id
+    remu x9, x2, x7       // lane byte offset within the row
+    mul  x10, x8, x6
+    slli x10, x10, 3
+    add  x10, x4, x10     // &indices[request * L]
+    li   x11, 8
+    vsetvli x0, x11, e32
+    vmv.v.i v1, 0         // accumulator (8 x f32 zero bits)
+    li   x12, 0
+lookup_loop:
+    bgeu x12, x6, store_out
+    ld   x13, 0(x10)      // embedding row index
+    mul  x14, x13, x7
+    add  x14, x5, x14
+    add  x14, x14, x9     // &table[idx][lane]
+    vle32.v v2, (x14)
+    vfadd.vv v1, v1, v2
+    addi x10, x10, 8
+    addi x12, x12, 1
+    j    lookup_loop
+store_out:
+    vse32.v v1, (x1)      // pool-mapped output slice
+    ret
+"""

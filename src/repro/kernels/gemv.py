@@ -1,0 +1,46 @@
+"""GEMV kernel for LLM token generation (§IV-B, OPT models).
+
+During the generation phase every token multiplies activation vectors
+against the model's weight matrices (QKV projections, attention output,
+two FFN layers); with batch size 1 each is a GEMV that streams the whole
+weight matrix once — the memory-bound core of OPT inference.
+
+The pool region is the output vector with a 4 B µthread stride: each
+µthread owns *one* output element — one weight-row dot product — so even a
+scaled-down matrix spawns thousands of µthreads and keeps every slot busy.
+The activation vector stays resident in the NDP unit's L1 across rows.
+
+Arguments: [0] W base (f32, row-major), [8] x base (f32), [16] dim_in.
+Launch with ``stride=4``.
+"""
+
+GEMV_F32 = """
+.body
+    ld   x4, 0(x3)        // W base
+    ld   x5, 8(x3)        // x base
+    ld   x6, 16(x3)       // dim_in
+    slli x15, x6, 2       // row bytes
+    srli x7, x2, 2        // output row index = offset / 4
+    li   x9, 8
+    vsetvli x0, x9, e32
+    mul  x10, x7, x15
+    add  x10, x4, x10     // row pointer
+    mv   x11, x5          // x pointer
+    li   x12, 0
+    vmv.v.i v1, 0         // accumulator
+dot_loop:
+    bgeu x12, x6, dot_done
+    vle32.v v2, (x10)
+    vle32.v v3, (x11)
+    vfmacc.vv v1, v2, v3
+    addi x10, x10, 32
+    addi x11, x11, 32
+    addi x12, x12, 8
+    j    dot_loop
+dot_done:
+    vmv.v.i v4, 0
+    vfredusum.vs v5, v1, v4
+    vfmv.f.s f1, v5
+    fsw  f1, 0(x1)        // pool-mapped output element
+    ret
+"""

@@ -1,0 +1,139 @@
+"""Graph-analytics kernels (§IV-B, Pannotia-style): PageRank and SSSP.
+
+Both use the CSR row-pointer array as the µthread pool region (4 nodes per
+µthread) and pointer-chase edges — the irregular access pattern where
+M2NDP's fine-grained spawning and scalar units beat SIMT warps (§III-D).
+
+PGRANK is one PageRank iteration as a two-body kernel (the multi-body
+barrier of §III-G): body 1 computes per-node contributions rank/deg, body 2
+gathers contributions over incoming edges and applies the damping update.
+
+SSSP is one Bellman-Ford relaxation sweep: relax every edge of active
+nodes with a global atomic min; a flag in HDM reports whether any distance
+improved so the host knows when to stop iterating.
+
+PGRANK arguments: [0] col_idx, [8] rank_in, [16] contrib, [24] out_deg
+(i32), [32] rank_out, [40] n_nodes, [48] teleport_bits (f64 bit pattern of
+(1-d)/N), [56] damping_bits (f64 bit pattern of d).
+SSSP arguments: [0] col_idx, [8] weights (i32), [16] dist (i32),
+[24] n_nodes, [32] changed-flag address.
+"""
+
+PAGERANK_ITER = """
+.body
+    // body 1: contrib[v] = rank_in[v] / out_deg[v]   (4 nodes per µthread)
+    ld   x4, 8(x3)        // rank_in (f64)
+    ld   x5, 16(x3)       // contrib (f64)
+    ld   x6, 24(x3)       // out_deg (i32)
+    ld   x8, 40(x3)       // n_nodes
+    srli x9, x2, 3        // first node
+    li   x10, 4
+contrib_loop:
+    bgeu x9, x8, contrib_done
+    blez x10, contrib_done
+    slli x11, x9, 3
+    add  x12, x4, x11
+    fld  f1, 0(x12)       // rank
+    slli x13, x9, 2
+    add  x12, x6, x13
+    lw   x14, 0(x12)      // degree
+    beqz x14, dangling
+    fcvt.d.l f2, x14
+    fdiv.d f1, f1, f2
+    j    store_contrib
+dangling:
+    fmv.d.x f1, x0        // contribution 0 for dangling nodes
+store_contrib:
+    add  x12, x5, x11
+    fsd  f1, 0(x12)
+    addi x9, x9, 1
+    addi x10, x10, -1
+    j    contrib_loop
+contrib_done:
+    ret
+.body
+    // body 2: rank_out[v] = teleport + d * sum(contrib[u]) over in-edges
+    ld   x4, 0(x3)        // col_idx (i32) of incoming neighbors
+    ld   x5, 16(x3)       // contrib (f64)
+    ld   x7, 32(x3)       // rank_out (f64)
+    ld   x8, 40(x3)       // n_nodes
+    fld  f4, 48(x3)       // teleport term
+    fld  f5, 56(x3)       // damping d
+    srli x9, x2, 3        // first node
+    li   x10, 4
+    mv   x11, x1          // row-pointer cursor
+node_loop:
+    bgeu x9, x8, done
+    blez x10, done
+    ld   x12, 0(x11)      // edges start
+    ld   x13, 8(x11)      // edges end
+    fmv.d.x f1, x0        // sum = 0
+edge_loop:
+    bgeu x12, x13, apply
+    slli x14, x12, 2
+    add  x15, x4, x14
+    lw   x16, 0(x15)      // neighbor u
+    slli x16, x16, 3
+    add  x15, x5, x16
+    fld  f2, 0(x15)       // contrib[u]
+    fadd.d f1, f1, f2
+    addi x12, x12, 1
+    j    edge_loop
+apply:
+    fmadd.d f1, f1, f5, f4   // teleport + d * sum
+    slli x14, x9, 3
+    add  x15, x7, x14
+    fsd  f1, 0(x15)
+    addi x9, x9, 1
+    addi x11, x11, 8
+    addi x10, x10, -1
+    j    node_loop
+done:
+    ret
+"""
+
+SSSP_RELAX = """
+.body
+    ld   x4, 0(x3)        // col_idx (i32)
+    ld   x5, 8(x3)        // weights (i32)
+    ld   x6, 16(x3)       // dist (i32)
+    ld   x8, 24(x3)       // n_nodes
+    ld   x17, 32(x3)      // changed-flag address
+    srli x9, x2, 3        // first node = offset / 8
+    li   x10, 4
+    mv   x11, x1          // row-pointer cursor
+node_loop:
+    bgeu x9, x8, done
+    blez x10, done
+    slli x12, x9, 2
+    add  x13, x6, x12
+    lw   x14, 0(x13)      // dist[u]
+    li   x15, 0x3FFFFFFF
+    bge  x14, x15, skip   // unreachable so far
+    ld   x12, 0(x11)      // edges start
+    ld   x13, 8(x11)      // edges end
+edge_loop:
+    bgeu x12, x13, skip
+    slli x15, x12, 2
+    add  x16, x4, x15
+    lw   x18, 0(x16)      // v
+    add  x16, x5, x15
+    lw   x19, 0(x16)      // w(u,v)
+    add  x19, x19, x14    // candidate = dist[u] + w
+    slli x18, x18, 2
+    add  x16, x6, x18
+    amomin.w x20, x19, (x16)  // old = atomic min(dist[v], candidate)
+    bge  x19, x20, no_improve
+    li   x21, 1
+    sw   x21, 0(x17)      // mark progress
+no_improve:
+    addi x12, x12, 1
+    j    edge_loop
+skip:
+    addi x9, x9, 1
+    addi x11, x11, 8
+    addi x10, x10, -1
+    j    node_loop
+done:
+    ret
+"""

@@ -1,0 +1,98 @@
+"""HISTO kernel (§IV-B, from CUDA samples): 256 or 4096 bins.
+
+Shows off the scratchpad's NDP-unit-wide scope (§III-D, A3): *one* copy of
+the bins per NDP unit, shared by all µthreads on it, against CUDA where
+every threadblock needs a private copy that must be merged through global
+memory (Fig 6b).
+
+Phases:
+  init  — the unit's slot-threads cooperatively zero the unit-local bins
+          (vectorized stores, 8 bins per iteration);
+  body  — each µthread takes 8 int32 inputs, computes bin indices
+          (value & (nbins-1)) and bumps scratchpad bins with the vector
+          AMO extension;
+  final — slot-threads flush the unit-local bins into the global bins with
+          vector global atomics (executed at the memory-side L2).
+
+Arguments: [0] nbins, [8] global bins base.
+Scratchpad: bins at offset 0x100.  nbins must be a power of two.
+"""
+
+HISTOGRAM = """
+.init
+    ld   x4, 0(x3)         // nbins
+    li   x5, 64
+    divu x6, x4, x5        // bins zeroed per slot-thread
+    bnez x6, init_go
+    // fewer bins than slots: low-numbered threads take one bin each
+    bgeu x2, x4, init_done
+    slli x7, x2, 2
+    li   x8, 0x10000100
+    add  x7, x8, x7
+    sw   x0, 0(x7)
+    j    init_done
+init_go:
+    mul  x7, x6, x2        // first bin for this thread
+    slli x7, x7, 2
+    li   x8, 0x10000100
+    add  x7, x8, x7        // scratchpad cursor
+    vsetvli x9, x6, e32    // vl = min(bins per thread, 8)
+    slli x10, x9, 2        // byte step
+    vmv.v.i v1, 0
+    li   x11, 0
+init_loop:
+    bgeu x11, x6, init_done
+    vse32.v v1, (x7)
+    add  x7, x7, x10
+    add  x11, x11, x9
+    j    init_loop
+init_done:
+    ret
+.body
+    ld       x4, 0(x3)       // nbins
+    addi     x5, x4, -1      // index mask (nbins is a power of two)
+    li       x6, 8
+    vsetvli  x0, x6, e32
+    vle32.v  v1, (x1)        // 8 input values
+    vand.vx  v2, v1, x5      // bin indices
+    vsll.vi  v2, v2, 2       // byte offsets
+    li       x7, 0x10000100
+    vmv.v.i  v3, 1
+    vamoadde32.v v3, (x7), v2  // scratchpad bins[idx] += 1
+    ret
+.final
+    ld   x4, 0(x3)          // nbins
+    ld   x5, 8(x3)          // global bins base
+    li   x6, 64
+    divu x7, x4, x6         // bins flushed per slot-thread
+    bnez x7, fin_go
+    bgeu x2, x4, fin_done   // fewer bins than slots: one bin each
+    slli x8, x2, 2
+    li   x10, 0x10000100
+    add  x10, x10, x8       // scratchpad address of this thread's bin
+    add  x5, x5, x8
+    lw   x12, 0(x10)
+    amoadd.w x12, x12, (x5)
+    j    fin_done
+fin_go:
+    mul  x8, x7, x2         // first bin
+    slli x9, x8, 2
+    li   x10, 0x10000100
+    add  x10, x10, x9       // scratchpad cursor
+    add  x5, x5, x9         // global cursor
+    vsetvli x11, x7, e32    // vl = min(bins per thread, 8)
+    slli x12, x11, 2        // byte step
+    vid.v   v2
+    vsll.vi v2, v2, 2       // element byte offsets [0,4,8,...]
+    li   x13, 0
+fin_loop:
+    bgeu x13, x7, fin_done
+    vle32.v v1, (x10)            // unit-local partial bins
+    vamoadde32.v v1, (x5), v2    // global bins[base+off] += partial
+    add  x10, x10, x12
+    add  x5, x5, x12
+    add  x13, x13, x11
+    j    fin_loop
+fin_done:
+    ret
+"""

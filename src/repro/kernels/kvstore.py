@@ -1,0 +1,100 @@
+"""KVStore GET/SET kernels (§IV-B, simplified Redis).
+
+The host computes the compute-intensive key hash, then offloads the
+memory-bound part — hash-table bucket walk, key comparison, value copy —
+as a *fine-grained* NDP kernel (one µthread).  This is the workload class
+where M2func's sub-µs launch dominates end-to-end latency (Fig 10b/11a).
+
+Hash-table node layout (128 B aligned):
+  +0   key word 0..2  (24 B key)
+  +24  pad
+  +32  value          (64 B)
+  +96  next-node pointer (i64; 0 terminates the chain)
+
+GET: pool region = the request's 32 B result slot; the kernel writes the
+64 B value at ``x1`` and a found/not-found status at ``x1+64``.
+Arguments: [0] bucket head-pointer address, [8..24] key words.
+
+SET: overwrite-in-place when the key exists; otherwise link a
+host-preallocated node at the chain head with an atomic swap.
+Arguments: [0] bucket head-pointer address, [8..24] key words,
+[32] preallocated node address (with key+value already written by host).
+"""
+
+KVS_GET = """
+.body
+    ld   x4, 0(x3)        // bucket head-pointer address
+    ld   x5, 8(x3)        // key word 0
+    ld   x6, 16(x3)       // key word 1
+    ld   x7, 24(x3)       // key word 2
+    ld   x9, 0(x4)        // first node
+walk:
+    beqz x9, notfound
+    ld   x10, 0(x9)
+    bne  x10, x5, next
+    ld   x10, 8(x9)
+    bne  x10, x6, next
+    ld   x10, 16(x9)
+    bne  x10, x7, next
+    // found: copy the 64 B value into the result slot at x1
+    addi x11, x9, 32
+    li   x13, 32
+    vsetvli x0, x13, e8
+    vle8.v v1, (x11)
+    vse8.v v1, (x1)
+    addi x11, x11, 32
+    addi x12, x1, 32
+    vle8.v v1, (x11)
+    vse8.v v1, (x12)
+    li   x14, 1
+    sd   x14, 64(x1)      // status: found
+    ret
+next:
+    ld   x9, 96(x9)       // chain next
+    j    walk
+notfound:
+    sd   x0, 64(x1)       // status: not found
+    ret
+"""
+
+KVS_SET = """
+.body
+    ld   x4, 0(x3)        // bucket head-pointer address
+    ld   x5, 8(x3)        // key word 0
+    ld   x6, 16(x3)       // key word 1
+    ld   x7, 24(x3)       // key word 2
+    ld   x8, 32(x3)       // preallocated node (key+value prewritten)
+    ld   x9, 0(x4)        // first node
+walk:
+    beqz x9, insert
+    ld   x10, 0(x9)
+    bne  x10, x5, next
+    ld   x10, 8(x9)
+    bne  x10, x6, next
+    ld   x10, 16(x9)
+    bne  x10, x7, next
+    // key exists: overwrite the 64 B value from the new node
+    addi x11, x8, 32      // source value
+    addi x12, x9, 32      // destination value
+    li   x13, 32
+    vsetvli x0, x13, e8
+    vle8.v v1, (x11)
+    vse8.v v1, (x12)
+    addi x11, x11, 32
+    addi x12, x12, 32
+    vle8.v v1, (x11)
+    vse8.v v1, (x12)
+    li   x14, 1
+    sd   x14, 64(x1)      // status: updated
+    ret
+next:
+    ld   x9, 96(x9)
+    j    walk
+insert:
+    // link the new node at the chain head: old_head = swap(head, node)
+    amoswap.d x10, x8, (x4)
+    sd   x10, 96(x8)      // node.next = old head
+    li   x14, 2
+    sd   x14, 64(x1)      // status: inserted
+    ret
+"""

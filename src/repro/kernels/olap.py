@@ -1,0 +1,81 @@
+"""OLAP filter-Evaluate kernels (§IV-B, TPC-H / SSB queries).
+
+The Evaluate phase sweeps a column and produces a boolean mask (one byte
+per row) in CXL memory; one kernel is launched per column predicate and a
+mask-combine kernel ANDs partial masks (the paper: "To filter multiple
+columns, multiple NDP kernels are launched").
+
+The µthread pool region is the column itself, so each µthread's ``x1``
+points straight at its 8 int32 (or 4 int64/f64) elements — the
+memory-mapped address-calculation saving of §III-D (A1).
+
+Argument blocks (u64 words at ``x3``):
+  range_i32 / lt_i32: [mask_base, lo, hi]  (lo <= v < hi; lt uses hi only)
+  range_f64:          [mask_base, lo_bits, hi_bits]  (f64 bit patterns)
+  mask_and:           [mask_b_base, mask_out_base]
+"""
+
+EVAL_RANGE_I32 = """
+.body
+    ld       x4, 0(x3)       // mask output base
+    ld       x5, 8(x3)       // lower bound (inclusive)
+    ld       x6, 16(x3)      // upper bound (exclusive)
+    li       x7, 8
+    vsetvli  x0, x7, e32
+    vle32.v  v1, (x1)        // 8 column values
+    vmsge.vx v2, v1, x5
+    vmslt.vx v3, v1, x6
+    vmand.mm v2, v2, v3
+    srli     x7, x2, 2       // mask offset: one byte per 4-byte element
+    add      x4, x4, x7
+    vse8.v   v2, (x4)
+    ret
+"""
+
+EVAL_LT_I32 = """
+.body
+    ld       x4, 0(x3)       // mask output base
+    ld       x6, 16(x3)      // bound (exclusive); slot 8 unused
+    li       x7, 8
+    vsetvli  x0, x7, e32
+    vle32.v  v1, (x1)
+    vmslt.vx v2, v1, x6
+    srli     x7, x2, 2
+    add      x4, x4, x7
+    vse8.v   v2, (x4)
+    ret
+"""
+
+EVAL_RANGE_F64 = """
+.body
+    ld       x4, 0(x3)       // mask output base
+    fld      f1, 8(x3)       // lower bound (inclusive)
+    fld      f2, 16(x3)      // upper bound (inclusive)
+    li       x7, 4
+    vsetvli  x0, x7, e64
+    vle64.v  v1, (x1)        // 4 column values (f64)
+    vmfge.vf v2, v1, f1
+    vmfle.vf v3, v1, f2
+    vmand.mm v2, v2, v3
+    srli     x7, x2, 3       // one mask byte per 8-byte element
+    add      x4, x4, x7
+    li       x8, 4
+    vsetvli  x0, x8, e8
+    vse8.v   v2, (x4)
+    ret
+"""
+
+MASK_AND = """
+.body
+    ld       x4, 0(x3)       // mask B base
+    ld       x5, 8(x3)       // mask out base
+    li       x6, 32
+    vsetvli  x0, x6, e8
+    vle8.v   v1, (x1)        // 32 mask-A bytes (pool region = mask A)
+    add      x4, x4, x2
+    vle8.v   v2, (x4)
+    vmand.mm v3, v1, v2
+    add      x5, x5, x2
+    vse8.v   v3, (x5)
+    ret
+"""

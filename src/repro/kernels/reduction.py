@@ -1,0 +1,35 @@
+"""Global-sum reduction kernel — the paper's Fig 8 example, verbatim in
+structure: initializer zeroes a per-unit partial in scratchpad, each body
+µthread vector-reduces its 32 B slice and atomically accumulates into the
+unit-local scratchpad sum, and the finalizer's slot-0 µthread folds the
+unit's partial into the global result with a global atomic.
+
+Arguments: [0] result address (i64 accumulator in HDM).
+Scratchpad layout: unit-local partial sum at offset 0x100.
+"""
+
+REDUCE_SUM_I64 = """
+.init
+    // one µthread per slot; only slot 0 of each unit zeroes the partial
+    bnez x2, init_done
+    li   x4, 0x10000100
+    sd   x0, 0(x4)
+init_done:
+    ret
+.body
+    vle64.v    v2, (x1)        // 4 x i64 slice
+    vmv.v.i    v1, 0
+    vredsum.vs v3, v2, v1      // scalar sum into v3[0]
+    vmv.x.s    x4, v3
+    li         x5, 0x10000100
+    amoadd.d   x4, x4, (x5)    // unit-local scratchpad accumulation
+    ret
+.final
+    bnez x2, final_done        // slot 0 only
+    li   x4, 0x10000100
+    ld   x5, 0(x4)             // unit-local partial
+    ld   x6, 0(x3)             // result address (kernel argument)
+    amoadd.d x5, x5, (x6)      // global atomic accumulate
+final_done:
+    ret
+"""

@@ -1,0 +1,52 @@
+"""SpMV kernel (§IV-B): y = A·x with A in CSR form.
+
+The µthread pool region is the CSR row-pointer array (the paper: "we use
+the address range of the row pointers"), so each µthread owns the 4 rows
+whose i64 row pointers fall in its 32 B slice.  The inner loop pointer-
+chases column indices and gathers x — the dense vector enjoys L1 reuse
+while matrix data streams from DRAM.
+
+Arguments: [0] col_idx base (i32), [8] values base (f32), [16] x base
+(f32), [24] y base (f32), [32] n_rows.
+"""
+
+SPMV_CSR = """
+.body
+    ld   x4, 0(x3)       // col_idx base
+    ld   x5, 8(x3)       // values base
+    ld   x6, 16(x3)      // x base
+    ld   x7, 24(x3)      // y base
+    ld   x8, 32(x3)      // n_rows
+    srli x9, x2, 3       // first row = offset / 8
+    li   x10, 4          // rows per µthread
+    mv   x11, x1         // row-pointer cursor
+row_loop:
+    bgeu x9, x8, done
+    blez x10, done
+    ld   x12, 0(x11)     // row start
+    ld   x13, 8(x11)     // row end
+    fmv.d.x f1, x0       // accumulator = 0.0
+nnz_loop:
+    bgeu x12, x13, store_row
+    slli x14, x12, 2
+    add  x15, x4, x14
+    lw   x16, 0(x15)     // column index
+    add  x15, x5, x14
+    flw  f2, 0(x15)      // A value
+    slli x16, x16, 2
+    add  x15, x6, x16
+    flw  f3, 0(x15)      // x[col]
+    fmadd.d f1, f2, f3, f1
+    addi x12, x12, 1
+    j    nnz_loop
+store_row:
+    slli x14, x9, 2
+    add  x15, x7, x14
+    fsw  f1, 0(x15)      // y[row]
+    addi x9, x9, 1
+    addi x11, x11, 8
+    addi x10, x10, -1
+    j    row_loop
+done:
+    ret
+"""

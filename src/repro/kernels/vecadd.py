@@ -1,0 +1,34 @@
+"""VectorAdd NDP kernel (the paper's Fig 4 running example).
+
+C = A + B with the pool region over A: each µthread receives the address
+of its 32 B slice of A in ``x1`` and the offset in ``x2``; B and C bases
+arrive as kernel arguments in the scratchpad (pointer in ``x3``).
+"""
+
+VECADD = """
+.body
+    ld      x4, 0(x3)        // base of B
+    ld      x5, 8(x3)        // base of C
+    vle64.v v1, (x1)         // A slice (4 x i64)
+    add     x4, x4, x2
+    vle64.v v2, (x4)         // B slice
+    vadd.vv v3, v1, v2
+    add     x5, x5, x2
+    vse64.v v3, (x5)
+    ret
+"""
+
+VECADD_F32 = """
+.body
+    ld      x4, 0(x3)        // base of B
+    ld      x5, 8(x3)        // base of C
+    li      x6, 8
+    vsetvli x0, x6, e32
+    vle32.v v1, (x1)         // A slice (8 x f32)
+    add     x4, x4, x2
+    vle32.v v2, (x4)
+    vfadd.vv v3, v1, v2
+    add     x5, x5, x2
+    vse32.v v3, (x5)
+    ret
+"""

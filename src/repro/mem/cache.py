@@ -1,0 +1,172 @@
+"""Set-associative sector cache (timing/tag model).
+
+Data always lives in :class:`~repro.mem.physical.PhysicalMemory`; caches
+here only track tags, valid sectors and LRU state so the timing hierarchy
+knows which accesses hit and which sectors must be fetched from the next
+level.  Lines are 128 B with 32 B sectors (Table IV), matching the paper's
+GPU-style hierarchy: write-through, no-write-allocate L1; memory-side
+write-back L2 that also performs global atomics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class _Line:
+    tag: int
+    valid_sectors: int = 0          # bitmask over sectors in the line
+    dirty_sectors: int = 0
+    lru_stamp: int = 0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache lookup.
+
+    ``missing_sectors`` lists (sector_addr, sector_size) pairs that must be
+    supplied by the next level; ``writebacks`` lists (addr, size) of dirty
+    data evicted to make room.
+    """
+
+    hit_sectors: int = 0
+    missing_sectors: list[tuple[int, int]] = field(default_factory=list)
+    writebacks: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def full_hit(self) -> bool:
+        return not self.missing_sectors
+
+
+class SectorCache:
+    """LRU set-associative sector cache."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        stats: StatsRegistry | None = None,
+        stats_prefix: str = "cache",
+        write_allocate: bool = True,
+        write_back: bool = True,
+    ) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.prefix = stats_prefix
+        self.write_allocate = write_allocate
+        self.write_back = write_back
+        # tag -> line per set: O(1) lookup, LRU via stamps on eviction only
+        self._sets: list[dict[int, _Line]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._stamp = 0
+        self.sectors_per_line = config.line_bytes // config.sector_bytes
+
+    # ------------------------------------------------------------------
+
+    def _locate(self, addr: int) -> tuple[int, int, int]:
+        """Return (set_index, tag, sector_index) for a byte address."""
+        line_id = addr // self.config.line_bytes
+        set_index = line_id % self.config.num_sets
+        tag = line_id // self.config.num_sets
+        sector_index = (addr % self.config.line_bytes) // self.config.sector_bytes
+        return set_index, tag, sector_index
+
+    def _touch(self, line: _Line) -> None:
+        self._stamp += 1
+        line.lru_stamp = self._stamp
+
+    def _sectors_touched(self, addr: int, size: int) -> list[int]:
+        """Sector-aligned addresses covered by [addr, addr+size)."""
+        sector = self.config.sector_bytes
+        first = (addr // sector) * sector
+        last = ((addr + max(size, 1) - 1) // sector) * sector
+        return list(range(first, last + sector, sector))
+
+    def _allocate_line(self, set_index: int, tag: int, result: AccessResult) -> _Line:
+        ways = self._sets[set_index]
+        if len(ways) >= self.config.ways:
+            victim = min(ways.values(), key=lambda line: line.lru_stamp)
+            if self.write_back and victim.dirty_sectors:
+                self._emit_writebacks(set_index, victim, result)
+            del ways[victim.tag]
+            self.stats.add(f"{self.prefix}.evictions")
+        line = _Line(tag=tag)
+        ways[tag] = line
+        return line
+
+    def _emit_writebacks(self, set_index: int, line: _Line, result: AccessResult) -> None:
+        line_addr = (line.tag * self.config.num_sets + set_index) * self.config.line_bytes
+        for idx in range(self.sectors_per_line):
+            if line.dirty_sectors & (1 << idx):
+                result.writebacks.append(
+                    (line_addr + idx * self.config.sector_bytes, self.config.sector_bytes)
+                )
+        self.stats.add(f"{self.prefix}.writebacks")
+
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, size: int, is_write: bool) -> AccessResult:
+        """Look up every sector in [addr, addr+size); fill misses."""
+        result = AccessResult()
+        for sector_addr in self._sectors_touched(addr, size):
+            self._access_sector(sector_addr, is_write, result)
+        return result
+
+    def _access_sector(self, sector_addr: int, is_write: bool, result: AccessResult) -> None:
+        set_index, tag, sector_index = self._locate(sector_addr)
+        line = self._sets[set_index].get(tag)
+        bit = 1 << sector_index
+        kind = "write" if is_write else "read"
+
+        if line is not None and line.valid_sectors & bit:
+            self.stats.add(f"{self.prefix}.{kind}_hits")
+            result.hit_sectors += 1
+            self._touch(line)
+            if is_write:
+                if self.write_back:
+                    line.dirty_sectors |= bit
+                else:
+                    # write-through: data goes to next level as well
+                    result.missing_sectors.append(
+                        (sector_addr, self.config.sector_bytes)
+                    )
+            return
+
+        self.stats.add(f"{self.prefix}.{kind}_misses")
+        if is_write and not self.write_allocate:
+            # no-write-allocate: forward the write, do not install the line
+            result.missing_sectors.append((sector_addr, self.config.sector_bytes))
+            return
+
+        if line is None:
+            line = self._allocate_line(set_index, tag, result)
+        line.valid_sectors |= bit
+        if is_write and self.write_back:
+            line.dirty_sectors |= bit
+        self._touch(line)
+        result.missing_sectors.append((sector_addr, self.config.sector_bytes))
+
+    # ------------------------------------------------------------------
+
+    def invalidate_all(self) -> int:
+        """Drop every line (instruction-cache flush on unregister, §III-F)."""
+        dropped = sum(len(ways) for ways in self._sets)
+        self._sets = [{} for _ in range(self.config.num_sets)]
+        return dropped
+
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def hit_rate(self) -> float:
+        hits = self.stats.get(f"{self.prefix}.read_hits") + self.stats.get(
+            f"{self.prefix}.write_hits"
+        )
+        misses = self.stats.get(f"{self.prefix}.read_misses") + self.stats.get(
+            f"{self.prefix}.write_misses"
+        )
+        total = hits + misses
+        return hits / total if total else 0.0

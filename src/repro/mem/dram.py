@@ -1,0 +1,131 @@
+"""Banked DRAM timing model (Ramulator-lite).
+
+Each channel has a set of banks with open-row state and a shared data bus.
+An access is decomposed into device-granularity bursts; each burst pays
+
+* row **hit**: tCL,
+* row **miss** (bank precharged): tRCD + tCL,
+* row **conflict** (wrong row open): tRP + tRCD + tCL, gated by tRC since
+  the previous activate,
+
+then occupies the channel data bus for ``burst_bytes / channel_bw``.  Banks
+serialize their own accesses; different banks and channels overlap — which
+is exactly the behaviour that lets many concurrent µthreads (or GPU warps)
+saturate aggregate bandwidth while a single pointer-chasing thread sees the
+full random-access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DRAMConfig
+from repro.mem.layout import AddressLayout
+from repro.sim.engine import BandwidthServer
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class _Bank:
+    open_row: int | None = None
+    ready_ns: float = 0.0          # earliest time the bank accepts a command
+    last_activate_ns: float = field(default=-1e18)
+
+
+class DRAMModel:
+    """Timing model for one DRAM subsystem (all channels of one device)."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        stats: StatsRegistry | None = None,
+        stats_prefix: str = "dram",
+    ) -> None:
+        self.config = config
+        self.layout = AddressLayout(config)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.prefix = stats_prefix
+        self._banks = [
+            [_Bank() for _ in range(config.banks_per_channel)]
+            for _ in range(config.channels)
+        ]
+        self._buses = [
+            BandwidthServer(config.channel_bw_bytes_per_ns)
+            for _ in range(config.channels)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, size: int, now_ns: float, is_write: bool) -> float:
+        """Perform a timed access; returns completion time of the last burst.
+
+        Bursts to different banks/channels proceed in parallel, so the
+        completion time is the max over per-burst completions.
+        """
+        completion = now_ns
+        for base, grain in self.layout.split_by_access(addr, size):
+            completion = max(completion, self._burst(base, grain, now_ns, is_write))
+        return completion
+
+    def _burst(self, addr: int, size: int, now_ns: float, is_write: bool) -> float:
+        coords = self.layout.coordinates(addr)
+        bank = self._banks[coords.channel][coords.bank]
+        bus = self._buses[coords.channel]
+        timing = self.config.timing
+
+        start = max(now_ns, bank.ready_ns)
+        if bank.open_row == coords.row:
+            cas_done = start + timing.row_hit_ns
+            self.stats.add(f"{self.prefix}.row_hits")
+        else:
+            if bank.open_row is None:
+                activate = max(start, bank.last_activate_ns + timing.t_rc_ns)
+                self.stats.add(f"{self.prefix}.row_misses")
+            else:
+                precharged = start + timing.row_conflict_extra_ns
+                activate = max(precharged, bank.last_activate_ns + timing.t_rc_ns)
+                self.stats.add(f"{self.prefix}.row_conflicts")
+            bank.last_activate_ns = activate
+            bank.open_row = coords.row
+            cas_done = activate + timing.row_miss_ns
+        finish = bus.transfer(cas_done, size)
+        bank.ready_ns = cas_done  # bank can pipeline the next CAS once issued
+
+        kind = "writes" if is_write else "reads"
+        self.stats.add(f"{self.prefix}.{kind}")
+        self.stats.add(f"{self.prefix}.bytes", size)
+        return finish
+
+    # ------------------------------------------------------------------
+
+    @property
+    def peak_bw_bytes_per_ns(self) -> float:
+        return self.config.total_bw_bytes_per_ns
+
+    def bytes_accessed(self) -> float:
+        return self.stats.get(f"{self.prefix}.bytes")
+
+    def achieved_bandwidth(self, elapsed_ns: float) -> float:
+        """Average bytes/ns moved over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.bytes_accessed() / elapsed_ns
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of peak bandwidth achieved over ``elapsed_ns``."""
+        return self.achieved_bandwidth(elapsed_ns) / self.peak_bw_bytes_per_ns
+
+    def typical_random_latency_ns(self) -> float:
+        """Closed-bank access latency + transfer of one burst (for analytic
+        host models that need a scalar latency)."""
+        burst_ns = self.config.access_granularity / self.config.channel_bw_bytes_per_ns
+        return self.config.timing.row_miss_ns + burst_ns
+
+    def reset(self) -> None:
+        for channel in self._banks:
+            for bank in channel:
+                bank.open_row = None
+                bank.ready_ns = 0.0
+                bank.last_activate_ns = -1e18
+        for bus in self._buses:
+            bus.reset()

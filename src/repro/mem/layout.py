@@ -1,0 +1,76 @@
+"""Physical address layout: channel/bank/row interleaving.
+
+The paper assumes fine-grained 256 B-granularity *hashed* interleaving
+across memory channels (§IV-A, citing pseudo-random interleaving [114]).
+This module maps physical addresses to (channel, bank, row) coordinates for
+the DRAM timing model.
+
+The hash XOR-folds the granule index so that strided access patterns do not
+camp on one channel, while consecutive granules in one channel still walk
+banks round-robin and fill row buffers — the combination that makes
+streaming workloads hit DRAM rows and saturate all channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAMConfig
+
+INTERLEAVE_GRANULE = 256
+
+
+@dataclass(frozen=True)
+class DRAMCoordinates:
+    channel: int
+    bank: int
+    row: int
+    column_offset: int  # byte offset of the granule within its row
+
+
+def _fold_hash(value: int) -> int:
+    """XOR-fold the upper bits into the lower ones (pseudo-random spread)."""
+    return value ^ (value >> 7) ^ (value >> 14) ^ (value >> 21)
+
+
+class AddressLayout:
+    """Maps physical addresses onto a :class:`DRAMConfig`'s geometry."""
+
+    def __init__(self, config: DRAMConfig, granule: int = INTERLEAVE_GRANULE):
+        self.config = config
+        self.granule = granule
+        self.granules_per_row = max(1, config.row_bytes // granule)
+
+    def coordinates(self, addr: int) -> DRAMCoordinates:
+        gid = addr // self.granule
+        channel = _fold_hash(gid) % self.config.channels
+        sid = gid // self.config.channels
+        bank = sid % self.config.banks_per_channel
+        within_bank = sid // self.config.banks_per_channel
+        row = within_bank // self.granules_per_row
+        col_granule = within_bank % self.granules_per_row
+        column_offset = col_granule * self.granule + addr % self.granule
+        return DRAMCoordinates(channel, bank, row, column_offset)
+
+    def split_by_granule(self, addr: int, size: int) -> list[tuple[int, int]]:
+        """Split [addr, addr+size) into (addr, size) pieces within granules."""
+        if size <= 0:
+            return []
+        pieces: list[tuple[int, int]] = []
+        pos = addr
+        end = addr + size
+        while pos < end:
+            boundary = (pos // self.granule + 1) * self.granule
+            chunk_end = min(end, boundary)
+            pieces.append((pos, chunk_end - pos))
+            pos = chunk_end
+        return pieces
+
+    def split_by_access(self, addr: int, size: int) -> list[tuple[int, int]]:
+        """Split into device access-granularity bursts (32 B LPDDR5, 64 B DDR5)."""
+        grain = self.config.access_granularity
+        if size <= 0:
+            return []
+        first = (addr // grain) * grain
+        last = ((addr + size - 1) // grain) * grain
+        return [(base, grain) for base in range(first, last + grain, grain)]

@@ -1,0 +1,279 @@
+"""The NDP controller: M2func decoding and kernel lifecycle management.
+
+Implemented "similarly to the microcontrollers in GPUs" (§III-B), the
+controller receives CXL.mem writes that the packet filter matched against a
+process's M2func region, decodes the function from the address offset
+(Table II), executes it, and stores the return value at the call address so
+a subsequent CXL.mem *read* of the same address retrieves it.
+
+Synchronous launches defer that read's response until the kernel instance
+completes; asynchronous launches respond immediately and are later polled
+with ``ndpPollKernelStatus``.
+
+Call encodings (all fields little-endian u64 in the write payload):
+
+====================  ======================================================
+offset 0              ndpRegisterKernel(codeLoc, spadBytes, nInt, nFloat, nVec)
+offset 1<<5           ndpUnregisterKernel(kernelID)
+offset 2<<5           ndpLaunchKernel(sync, kernelID, poolBase, poolBound,
+                      stride, argBytes, args...)
+offset 3<<5           ndpPollKernelStatus(instanceID)
+offset 4<<5           ndpShootdownTlbEntry(asid, vpn)   [privileged]
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cxl.packet_filter import FilterEntry
+from repro.errors import ProtocolError
+from repro.ndp.generator import KernelExecution
+from repro.ndp.kernel import KernelDescriptor, KernelInstance, KernelStatus
+
+#: Function offsets (Table II), strided by 32 B.
+FUNC_STRIDE_SHIFT = 5
+FUNC_REGISTER = 0
+FUNC_UNREGISTER = 1
+FUNC_LAUNCH = 2
+FUNC_POLL = 3
+FUNC_SHOOTDOWN = 4
+
+#: Error codes (Table II: ERR is a negative value).
+ERR_GENERIC = -1
+ERR_UNKNOWN_KERNEL = -2
+ERR_QUEUE_FULL = -3
+ERR_BAD_ARGS = -4
+
+#: Controller processing latency per M2func call (GPU-microcontroller-like).
+CONTROLLER_LATENCY_NS = 10.0
+
+_U64 = struct.Struct("<q")
+
+
+def _pack_i64(value: int) -> bytes:
+    return _U64.pack(value)
+
+
+def _read_u64s(data: bytes, count: int) -> list[int]:
+    if len(data) < count * 8:
+        raise ProtocolError(
+            f"M2func payload too short: need {count * 8} bytes, got {len(data)}"
+        )
+    return [struct.unpack_from("<Q", data, i * 8)[0] for i in range(count)]
+
+
+@dataclass
+class ReadResponse:
+    """Outcome of an M2func-region read."""
+
+    data: bytes
+    ready_ns: float | None      # None => deferred until the kernel finishes
+    waiting_instance: int | None = None
+
+
+@dataclass
+class _ProcessState:
+    """Per-ASID M2func bookkeeping."""
+
+    last_launched: int | None = None    # latest instance id per Table II note
+
+
+class NDPController:
+    """Decodes M2func calls and manages kernels on one M2NDP device."""
+
+    def __init__(self, device, queue_capacity: int = 4096) -> None:
+        self.device = device
+        self.queue_capacity = queue_capacity
+        self.kernels: dict[int, KernelDescriptor] = {}
+        self.instances: dict[int, KernelInstance] = {}
+        self.active: dict[int, KernelExecution] = {}
+        self.queue: deque[KernelInstance] = deque()
+        self._next_kernel_id = 1
+        self._next_instance_id = 1
+        self._process_state: dict[int, _ProcessState] = {}
+        self._completion_waiters: dict[int, list[Callable[[float], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # M2func entry points (called by the device's packet path)
+    # ------------------------------------------------------------------
+
+    def handle_write(self, entry: FilterEntry, addr: int, data: bytes,
+                     now_ns: float) -> float:
+        """Process an M2func call; returns the controller-done timestamp."""
+        done = now_ns + CONTROLLER_LATENCY_NS
+        offset = addr - entry.base
+        func = offset >> FUNC_STRIDE_SHIFT
+        if func == FUNC_REGISTER:
+            result = self._register(data)
+        elif func == FUNC_UNREGISTER:
+            result = self._unregister(data)
+        elif func == FUNC_LAUNCH:
+            result = self._launch(entry.asid, data, done)
+        elif func == FUNC_POLL:
+            result = self._poll(data)
+        elif func == FUNC_SHOOTDOWN:
+            result = self._shootdown(data)
+        else:
+            result = ERR_GENERIC
+        # Store the return value at the call address: a subsequent normal
+        # read of that address observes it (§III-B).
+        self.device.physical.write_bytes(addr, _pack_i64(result))
+        self.device.stats.add("m2func.calls")
+        return done
+
+    def handle_read(self, entry: FilterEntry, addr: int, size: int,
+                    now_ns: float) -> ReadResponse:
+        """Serve a read in the M2func region (fetch a return value)."""
+        offset = addr - entry.base
+        func = offset >> FUNC_STRIDE_SHIFT
+        data = self.device.physical.read_bytes(addr, size)
+        if func == FUNC_LAUNCH:
+            state = self._process_state.get(entry.asid)
+            if state is not None and state.last_launched is not None:
+                instance = self.instances.get(state.last_launched)
+                if (instance is not None and instance.synchronous
+                        and instance.status is not KernelStatus.FINISHED):
+                    return ReadResponse(data=data, ready_ns=None,
+                                        waiting_instance=instance.instance_id)
+        return ReadResponse(data=data, ready_ns=now_ns + CONTROLLER_LATENCY_NS)
+
+    def add_completion_waiter(self, instance_id: int,
+                              callback: Callable[[float], None]) -> None:
+        instance = self.instances.get(instance_id)
+        if instance is not None and instance.status is KernelStatus.FINISHED:
+            callback(instance.complete_ns or 0.0)
+            return
+        self._completion_waiters.setdefault(instance_id, []).append(callback)
+
+    # ------------------------------------------------------------------
+    # Table II functions
+    # ------------------------------------------------------------------
+
+    def _register(self, data: bytes) -> int:
+        try:
+            code_loc, spad_bytes, n_int, n_float, n_vec = _read_u64s(data, 5)
+        except ProtocolError:
+            return ERR_BAD_ARGS
+        program = self.device.code_registry.get(code_loc)
+        if program is None:
+            return ERR_BAD_ARGS
+        usage = program.usage
+        if (n_int < usage.int_regs or n_float < usage.float_regs
+                or n_vec < usage.vector_regs):
+            return ERR_BAD_ARGS
+        kernel_id = self._next_kernel_id
+        self._next_kernel_id += 1
+        self.kernels[kernel_id] = KernelDescriptor(
+            kernel_id=kernel_id,
+            program=program,
+            scratchpad_bytes=spad_bytes,
+            usage=usage,
+            name=program.name,
+        )
+        return kernel_id
+
+    def _unregister(self, data: bytes) -> int:
+        try:
+            (kernel_id,) = _read_u64s(data, 1)
+        except ProtocolError:
+            return ERR_BAD_ARGS
+        if kernel_id not in self.kernels:
+            return ERR_UNKNOWN_KERNEL
+        del self.kernels[kernel_id]
+        # Instruction caches are flushed on unregister to avoid stale code
+        # (§III-F); we track the event for the record.
+        self.device.stats.add("ndp.icache_flushes")
+        return 0
+
+    def _launch(self, asid: int, data: bytes, now_ns: float) -> int:
+        try:
+            sync, kernel_id, base, bound, stride, arg_bytes = _read_u64s(data, 6)
+        except ProtocolError:
+            return ERR_BAD_ARGS
+        kernel = self.kernels.get(kernel_id)
+        if kernel is None:
+            return ERR_UNKNOWN_KERNEL
+        args = data[48:48 + arg_bytes]
+        if len(args) < arg_bytes:
+            return ERR_BAD_ARGS
+        if len(self.queue) >= self.queue_capacity:
+            return ERR_QUEUE_FULL
+        instance = KernelInstance(
+            instance_id=self._next_instance_id,
+            kernel=kernel,
+            pool_base=base,
+            pool_bound=bound,
+            args=args,
+            synchronous=bool(sync),
+            asid=asid,
+            uthread_stride=stride or 32,
+            launch_ns=now_ns,
+        )
+        self._next_instance_id += 1
+        self.instances[instance.instance_id] = instance
+        state = self._process_state.setdefault(asid, _ProcessState())
+        state.last_launched = instance.instance_id
+        if len(self.active) < self.device.config.ndp.max_concurrent_kernels:
+            self._start_instance(instance, now_ns)
+        else:
+            self.queue.append(instance)
+        return instance.instance_id
+
+    def _poll(self, data: bytes) -> int:
+        try:
+            (instance_id,) = _read_u64s(data, 1)
+        except ProtocolError:
+            return ERR_BAD_ARGS
+        instance = self.instances.get(instance_id)
+        if instance is None:
+            return ERR_GENERIC
+        return instance.status.value
+
+    def _shootdown(self, data: bytes) -> int:
+        try:
+            asid, vpn = _read_u64s(data, 2)
+        except ProtocolError:
+            return ERR_BAD_ARGS
+        hit = self.device.dram_tlb.shootdown(asid, vpn)
+        for unit in self.device.units:
+            hit = unit.dtlb.shootdown(asid, vpn) or hit
+            hit = unit.itlb.shootdown(asid, vpn) or hit
+        return 0 if hit else 0  # idempotent success either way
+
+    # ------------------------------------------------------------------
+    # kernel lifecycle
+    # ------------------------------------------------------------------
+
+    def _start_instance(self, instance: KernelInstance, now_ns: float) -> None:
+        ndp = self.device.config.ndp
+        execution = KernelExecution(
+            instance=instance,
+            num_units=ndp.num_units,
+            slots_per_unit=ndp.subcores_per_unit * ndp.uthread_slots_per_subcore,
+            vector_bytes=ndp.vector_bytes,
+            scratchpad_bytes=ndp.scratchpad_bytes,
+            max_concurrent_kernels=ndp.max_concurrent_kernels,
+            on_complete=self._on_kernel_complete,
+        )
+        self.active[instance.instance_id] = execution
+        # Kernel arguments are placed in each unit's scratchpad (§III-G).
+        if instance.args:
+            for unit in self.device.units:
+                unit.scratchpad.write(execution.args_vaddr, instance.args)
+        execution.start(now_ns)
+        self.device.register_execution(execution, now_ns)
+
+    def _on_kernel_complete(self, execution: KernelExecution,
+                            now_ns: float) -> None:
+        instance = execution.instance
+        self.active.pop(instance.instance_id, None)
+        self.device.unregister_execution(execution)
+        self.device.stats.add("ndp.kernels_completed")
+        for callback in self._completion_waiters.pop(instance.instance_id, []):
+            callback(now_ns)
+        if self.queue and len(self.active) < self.device.config.ndp.max_concurrent_kernels:
+            self._start_instance(self.queue.popleft(), now_ns)

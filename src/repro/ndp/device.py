@@ -1,0 +1,329 @@
+"""CXL-M2NDP device: the memory expander with NDP capability (Fig 3).
+
+Owns the physical memory (HDM), the banked LPDDR5 DRAM model, the
+memory-side L2, the CXL link + packet filter, the NDP controller and the 32
+NDP units — and runs the µthread execution engine on the shared
+discrete-event simulator.
+
+Execution engine
+----------------
+µthreads advance in *bursts*: a woken thread executes instructions inline
+(charging its sub-core's dispatch/FU virtual-time servers) until it issues
+a long memory access, finishes, or hits the burst cap; then an event is
+scheduled at its next ready time.  Short accesses (scratchpad / L1 hits)
+continue inline, so the event count is proportional to DRAM accesses, not
+instructions — that is what makes a pure-Python cycle-level model feasible.
+"""
+
+from __future__ import annotations
+
+import struct
+from functools import partial
+
+from repro.config import SystemConfig
+from repro.cxl.hdm import HDMCoherence
+from repro.cxl.link import CXLLink
+from repro.cxl.packet_filter import PacketFilter
+from repro.cxl.protocol import CXLPacket, PacketType
+from repro.errors import LaunchError
+from repro.isa.assembler import KernelProgram
+from repro.isa.executor import execute
+from repro.mem.dram import DRAMModel
+from repro.mem.cache import SectorCache
+from repro.mem.physical import PhysicalMemory
+from repro.mem.scratchpad import _apply_amo
+from repro.ndp.controller import NDPController, ReadResponse
+from repro.ndp.generator import SPAWN_LATENCY_NS, KernelExecution
+from repro.ndp.tlb import DRAM_TLB_ENTRY_BYTES, DRAMTLB, PageTable
+from repro.ndp.unit import NDPUnit
+from repro.ndp.uthread import UThread
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+#: Device-internal fixed overhead on the CXL request path (port + filter).
+DEVICE_PORT_NS = 10.0
+
+#: Instructions a thread may execute before yielding the event loop.
+BURST_CAP = 256
+
+#: Memory completions within this window continue inline (L1/scratchpad).
+INLINE_WINDOW_NS = 8.0
+
+_AMO_INT = {4: struct.Struct("<i"), 8: struct.Struct("<q")}
+_AMO_FLT = {4: struct.Struct("<f"), 8: struct.Struct("<d")}
+
+
+class M2NDPDevice:
+    """A CXL memory expander with M2NDP (controller + NDP units)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig | None = None,
+        stats: StatsRegistry | None = None,
+        spawn_granularity: int = 1,
+        dirty_fraction: float = 0.0,
+        queue_capacity: int = 4096,
+    ) -> None:
+        self.sim = sim
+        self.config = config if config is not None else SystemConfig()
+        self.stats = stats if stats is not None else StatsRegistry()
+
+        self.physical = PhysicalMemory(self.config.cxl_dram.capacity_bytes)
+        self.dram = DRAMModel(self.config.cxl_dram, self.stats, "cxl_dram")
+        self.l2 = SectorCache(self.config.l2, self.stats, "l2",
+                              write_allocate=True, write_back=True)
+        self.link = CXLLink(self.config.cxl, self.stats, "cxl")
+        self.packet_filter = PacketFilter()
+        self.coherence = HDMCoherence(self.link, dirty_fraction, self.stats)
+        self.dram_tlb = DRAMTLB()
+        self._page_tables: dict[int, PageTable] = {}
+        self.code_registry: dict[int, KernelProgram] = {}
+        self.controller = NDPController(self, queue_capacity=queue_capacity)
+        self.units = [
+            NDPUnit(i, self.config.ndp, self, self.stats, spawn_granularity)
+            for i in range(self.config.ndp.num_units)
+        ]
+        self.active_executions: list[KernelExecution] = []
+        self._fill_cursor = 0
+        # DRAM-TLB region lives at the top of device memory.
+        self._dram_tlb_base = (
+            self.config.cxl_dram.capacity_bytes - self.dram_tlb.region_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # memory-system services shared by the units
+    # ------------------------------------------------------------------
+
+    def page_table(self, asid: int) -> PageTable:
+        table = self._page_tables.get(asid)
+        if table is None:
+            table = self._page_tables[asid] = PageTable(asid)
+        return table
+
+    def install_code(self, code_loc: int, program: KernelProgram) -> None:
+        """Place kernel code in HDM (we keep the decoded form alongside)."""
+        self.code_registry[code_loc] = program
+
+    def global_amo(self, op: str, paddr: int, operand, size: int,
+                   is_float: bool):
+        """Functional atomic read-modify-write on HDM (done at the L2)."""
+        packer = (_AMO_FLT if is_float else _AMO_INT)[size]
+        old = packer.unpack(self.physical.read_bytes(paddr, size))[0]
+        new = _apply_amo(op, old, operand)
+        if not is_float:
+            bits = 8 * size
+            new &= (1 << bits) - 1
+            new -= (1 << bits) if new >= (1 << (bits - 1)) else 0
+        self.physical.write_bytes(paddr, packer.pack(new))
+        self.stats.add("ndp.global_atomics")
+        return old
+
+    def l2_dram_access(self, paddr: int, size: int, now_ns: float,
+                       is_write: bool, allocate: bool = True) -> float:
+        """Timed access through the memory-side L2 into DRAM.
+
+        Reads of lines the host may hold dirty first pay an HDM-DB
+        back-invalidation round trip (Fig 13b); the BI blocks only the
+        requesting µthread, so FGMT hides most of it.
+        """
+        if not is_write and self.coherence.dirty_fraction > 0.0:
+            now_ns = self.coherence.access(paddr, size, now_ns)
+        result = self.l2.access(paddr, size, is_write)
+        done = now_ns + self.config.l2.hit_latency_ns
+        for wb_addr, wb_size in result.writebacks:
+            self.dram.access(wb_addr, wb_size, done, is_write=True)
+        completion = done
+        for sector_addr, sector_size in result.missing_sectors:
+            completion = max(
+                completion,
+                self.dram.access(sector_addr, sector_size, done, is_write),
+            )
+        return completion
+
+    def dram_tlb_timed_fetch(self, asid: int, vpn: int, now_ns: float) -> float:
+        """One 16 B DRAM access at the hashed DRAM-TLB slot (§III-H)."""
+        slot = self.dram_tlb._slot(asid, vpn)
+        addr = self._dram_tlb_base + slot * DRAM_TLB_ENTRY_BYTES
+        return self.dram.access(addr, DRAM_TLB_ENTRY_BYTES, now_ns,
+                                is_write=False)
+
+    # ------------------------------------------------------------------
+    # host-facing CXL.mem entry points
+    # ------------------------------------------------------------------
+
+    def host_write(self, now_ns: float, addr: int, data: bytes) -> float:
+        """A host CXL.mem write arrives; returns the host-visible ack time."""
+        packet = CXLPacket(PacketType.MEM_WR, addr, len(data), data=data)
+        arrival = self.link.send_to_device(now_ns, packet)
+        entry = self.packet_filter.match(addr)
+        if entry is not None:
+            self.controller.handle_write(entry, addr, data,
+                                         arrival + DEVICE_PORT_NS)
+        else:
+            self.physical.write_bytes(addr, data)
+            self.l2_dram_access(addr, len(data), arrival + DEVICE_PORT_NS,
+                                is_write=True)
+        ack = CXLPacket(PacketType.MEM_WR_ACK, addr, 0)
+        return self.link.send_to_host(arrival + DEVICE_PORT_NS, ack)
+
+    def host_read(self, now_ns: float, addr: int, size: int,
+                  callback) -> None:
+        """A host CXL.mem read; ``callback(data, host_time)`` fires when the
+        response reaches the host (possibly deferred for sync launches)."""
+        packet = CXLPacket(PacketType.MEM_RD, addr, size)
+        arrival = self.link.send_to_device(now_ns, packet)
+        entry = self.packet_filter.match(addr)
+        if entry is not None:
+            response = self.controller.handle_read(entry, addr, size,
+                                                   arrival + DEVICE_PORT_NS)
+            if response.ready_ns is None:
+                self._defer_read(response, addr, size, callback)
+            else:
+                self._respond(response.data, response.ready_ns, addr, callback)
+            return
+        data = self.physical.read_bytes(addr, size)
+        ready = self.l2_dram_access(addr, size, arrival + DEVICE_PORT_NS,
+                                    is_write=False)
+        self._respond(data, ready, addr, callback)
+
+    def _defer_read(self, response: ReadResponse, addr: int, size: int,
+                    callback) -> None:
+        def on_complete(when_ns: float) -> None:
+            data = self.physical.read_bytes(addr, size)
+            self._respond(data, when_ns + DEVICE_PORT_NS, addr, callback)
+
+        assert response.waiting_instance is not None
+        self.controller.add_completion_waiter(response.waiting_instance,
+                                              on_complete)
+
+    def _respond(self, data: bytes, ready_ns: float, addr: int,
+                 callback) -> None:
+        packet = CXLPacket(PacketType.MEM_RD_RESP, addr, len(data), data=data)
+        at_host = self.link.send_to_host(max(ready_ns, self.sim.now), packet)
+        self.sim.schedule_at(at_host, partial(callback, data, at_host))
+
+    # ------------------------------------------------------------------
+    # µthread execution engine
+    # ------------------------------------------------------------------
+
+    def register_execution(self, execution: KernelExecution,
+                           now_ns: float) -> None:
+        self.active_executions.append(execution)
+        self.fill_all_units(max(now_ns, self.sim.now))
+
+    def unregister_execution(self, execution: KernelExecution) -> None:
+        if execution in self.active_executions:
+            self.active_executions.remove(execution)
+
+    def fill_all_units(self, now_ns: float) -> None:
+        for unit in self.units:
+            self._fill_unit(unit, now_ns)
+
+    def _fill_unit(self, unit: NDPUnit, now_ns: float) -> None:
+        executions = self.active_executions
+        if not executions:
+            return
+        progress = True
+        while progress:
+            progress = False
+            for step in range(len(executions)):
+                ex = executions[(self._fill_cursor + step) % len(executions)]
+                if ex.finished or not ex.has_pending_for_unit(unit.index):
+                    continue
+                allocation = unit.occupancy.try_allocate(ex.rf_bytes)
+                if allocation is None:
+                    continue
+                descriptor = ex.take_for_unit(unit.index)
+                thread = UThread(
+                    instance=ex.instance,
+                    program=descriptor.program,
+                    phase=descriptor.phase,
+                    unit_index=unit.index,
+                    allocation=allocation,
+                    mapped_addr=descriptor.mapped_addr,
+                    offset=descriptor.offset,
+                    args_vaddr=ex.args_vaddr,
+                )
+                thread.body_index = descriptor.body_index
+                thread.ready_ns = now_ns + SPAWN_LATENCY_NS
+                ex.outstanding += 1
+                self.stats.add("ndp.uthreads_spawned")
+                unit.occupancy.sample(now_ns)
+                self.sim.schedule_at(
+                    thread.ready_ns, partial(self._run_thread, thread, ex)
+                )
+                progress = True
+        self._fill_cursor += 1
+
+    def _run_thread(self, thread: UThread, execution: KernelExecution) -> None:
+        unit = self.units[thread.unit_index]
+        subcore = unit.subcores[thread.allocation.subcore_index]
+        memory = unit.memory_for(thread.instance.asid)
+        instructions = thread.program.instructions
+        count = len(instructions)
+        t = thread.ready_ns
+        asid = thread.instance.asid
+
+        for _ in range(BURST_CAP):
+            if thread.pc >= count:
+                self._finish_thread(thread, execution, unit, t)
+                return
+            inst = instructions[thread.pc]
+            start, exec_done = subcore.issue(inst, t)
+            result = execute(inst, thread.regs, memory)
+            thread.instructions_executed += 1
+
+            if result.done:
+                self._finish_thread(thread, execution, unit, exec_done)
+                return
+            thread.pc = result.jump_to if result.jump_to is not None else thread.pc + 1
+
+            if result.accesses:
+                completion = unit.timed_accesses(result.accesses, exec_done, asid)
+                if completion - exec_done <= INLINE_WINDOW_NS:
+                    t = completion
+                    continue
+                thread.ready_ns = completion
+                self.sim.schedule_at(
+                    completion, partial(self._run_thread, thread, execution)
+                )
+                return
+            t = exec_done
+
+        thread.ready_ns = t
+        self.sim.schedule_at(t, partial(self._run_thread, thread, execution))
+
+    def _finish_thread(self, thread: UThread, execution: KernelExecution,
+                       unit: NDPUnit, now_ns: float) -> None:
+        unit.occupancy.release(thread.allocation)
+        unit.occupancy.sample(now_ns)
+        execution.instance.instructions += thread.instructions_executed
+        self.stats.add("ndp.instructions", thread.instructions_executed)
+        self.stats.add("ndp.uthreads_finished")
+        now = max(now_ns, self.sim.now)
+        barrier_crossed = execution.on_thread_done(now_ns)
+        if barrier_crossed:
+            self.fill_all_units(now)
+        else:
+            self._fill_unit(unit, now)
+
+    # ------------------------------------------------------------------
+    # introspection helpers for experiments
+    # ------------------------------------------------------------------
+
+    def dram_utilization(self, elapsed_ns: float) -> float:
+        return self.dram.utilization(elapsed_ns)
+
+    def total_active_ratio_series(self, start_ns: float, end_ns: float,
+                                  steps: int = 50) -> list[tuple[float, float]]:
+        """Device-wide Fig 6a series: mean of per-unit active ratios."""
+        per_unit = [
+            unit.occupancy.sampler.series(start_ns, end_ns, steps)
+            for unit in self.units
+        ]
+        out: list[tuple[float, float]] = []
+        for i in range(steps):
+            t = per_unit[0][i][0]
+            out.append((t, sum(series[i][1] for series in per_unit) / len(per_unit)))
+        return out

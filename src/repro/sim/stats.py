@@ -1,0 +1,180 @@
+"""Statistics collection: counters, distributions and percentile helpers.
+
+The paper reports P95 latencies (KVStore), bandwidth utilization, active
+context ratios over time, and traffic breakdowns.  :class:`StatsRegistry`
+is the shared sink every component writes into so experiments can pull one
+coherent snapshot after a run.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+def percentile(samples: list[float], pct: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (pct in [0, 100]).
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be within [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, used for the paper's GMEAN speedup rows."""
+    if not values:
+        raise ValueError("geometric mean of empty list")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class Distribution:
+    """Streaming collection of scalar samples with summary accessors."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("mean of empty distribution")
+        return self.total / len(self.samples)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples)
+
+    @property
+    def min(self) -> float:
+        return min(self.samples)
+
+    def percentile(self, pct: float) -> float:
+        return percentile(self.samples, pct)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+
+class StatsRegistry:
+    """Hierarchical counter / distribution sink.
+
+    Counter names are dotted paths such as ``"dram.row_hits"`` or
+    ``"cxl.tx_bytes"``; components increment them and experiments read a
+    flat snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+        self._distributions: dict[str, Distribution] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] += amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def observe(self, name: str, value: float) -> None:
+        dist = self._distributions.get(name)
+        if dist is None:
+            dist = self._distributions[name] = Distribution()
+        dist.add(value)
+
+    def distribution(self, name: str) -> Distribution:
+        if name not in self._distributions:
+            raise KeyError(f"no distribution named {name!r}")
+        return self._distributions[name]
+
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        """Snapshot of all counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._distributions.clear()
+
+
+@dataclass
+class IntervalSampler:
+    """Time series of (time, value) points, for Fig 6a-style plots.
+
+    The ratio of active µthread contexts over time is recorded by sampling
+    a gauge whenever it changes; :meth:`series` resamples onto a uniform
+    grid for table output.
+    """
+
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time_ns: float, value: float) -> None:
+        # Virtual-time execution can complete work slightly out of order;
+        # clamp to keep the series monotonic.
+        if self.points and time_ns < self.points[-1][0]:
+            time_ns = self.points[-1][0]
+        self.points.append((time_ns, value))
+
+    def series(self, start_ns: float, end_ns: float, steps: int) -> list[tuple[float, float]]:
+        """Step-function resample onto ``steps`` uniform buckets."""
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        if end_ns <= start_ns:
+            raise ValueError("end must be after start")
+        out: list[tuple[float, float]] = []
+        idx = 0
+        current = self.points[0][1] if self.points else 0.0
+        for step in range(steps):
+            t = start_ns + (end_ns - start_ns) * step / (steps - 1 if steps > 1 else 1)
+            while idx < len(self.points) and self.points[idx][0] <= t:
+                current = self.points[idx][1]
+                idx += 1
+            out.append((t, current))
+        return out
+
+    def time_weighted_mean(self, start_ns: float, end_ns: float) -> float:
+        """Average value over [start, end] treating points as a step function."""
+        if end_ns <= start_ns:
+            raise ValueError("end must be after start")
+        area = 0.0
+        current = 0.0
+        prev_t = start_ns
+        for t, v in self.points:
+            if t < start_ns:
+                current = v
+                continue
+            if t > end_ns:
+                break
+            area += current * (t - prev_t)
+            prev_t = t
+            current = v
+        area += current * (end_ns - prev_t)
+        return area / (end_ns - start_ns)

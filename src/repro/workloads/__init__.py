@@ -1,0 +1,22 @@
+"""Evaluation workloads (Table V): OLAP, KVStore, HISTO, SpMV, graphs,
+DLRM, and OPT generation."""
+
+from repro.workloads.base import (
+    NDPRunResult,
+    Platform,
+    SCALES,
+    ScalePreset,
+    make_platform,
+    rng,
+    scale,
+)
+
+__all__ = [
+    "NDPRunResult",
+    "Platform",
+    "SCALES",
+    "ScalePreset",
+    "make_platform",
+    "rng",
+    "scale",
+]

@@ -1,0 +1,101 @@
+"""Smoke + shape tests for the cheap experiment drivers (the expensive
+ones are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, PAPER_REFERENCE
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig05 import run_fig5
+from repro.experiments.fig11 import run_fig11b
+from repro.experiments.fig12 import _inflate_addressing, static_instruction_savings
+from repro.experiments.fig14 import run_fig14b
+
+
+class TestRegistry:
+    def test_every_figure_has_a_driver(self):
+        expected = {"fig1a", "fig1b", "fig5", "fig6a", "fig6b", "fig10a",
+                    "fig10b", "fig10c", "fig11a", "fig11b", "fig12a",
+                    "fig12b", "fig13a-freq", "fig13a-ltu", "fig13b",
+                    "fig14a", "fig14b", "fig15-olap", "fig15-gpu",
+                    "instr-savings"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_paper_reference_covers_headlines(self):
+        assert PAPER_REFERENCE["fig10c"]["m2ndp_gmean"] == 6.35
+        assert PAPER_REFERENCE["fig10a"]["evaluate_speedup_max"] == 128.0
+
+
+class TestExperimentResult:
+    def test_render_contains_rows(self):
+        result = ExperimentResult("x", "title")
+        result.add(a=1, b=2.5)
+        out = result.render()
+        assert "title" in out and "2.500" in out
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "t")
+        result.add(v=1)
+        result.add(v=2)
+        assert result.column("v") == [1, 2]
+
+
+class TestFig5Driver:
+    def test_paper_reductions(self):
+        result = run_fig5()
+        assert "33%-75%" in result.notes
+        assert "17%-37%" in result.notes
+
+    def test_custom_latencies(self):
+        result = run_fig5(kernel_ns=1000.0, x_ns=100.0, y_ns=100.0)
+        totals = {r["mechanism"]: r["total_ns"] for r in result.rows}
+        assert totals["m2func"] == 1200.0
+        assert totals["cxl_io_rb"] == 1800.0
+
+
+class TestFig11bDriver:
+    def test_fine_grained_gains_most(self):
+        result = run_fig11b()
+        rows = {r["workload"]: r for r in result.rows}
+        assert rows["KVS_A"]["vs_rb"] > rows["SPMV"]["vs_rb"]
+
+
+class TestFig12Helpers:
+    def test_inflation_only_touches_bodies(self):
+        source = ".init\nret\n.body\nret\n.final\nret"
+        inflated = _inflate_addressing(source)
+        assert inflated.count("add x0, x0, x0") == 4
+        from repro.isa.assembler import assemble_kernel
+        kernel = assemble_kernel(inflated)
+        assert kernel.initializer is not None
+        assert len(kernel.bodies[0]) == 5
+
+    def test_static_savings_in_paper_band(self):
+        result = static_instruction_savings()
+        for row in result.rows:
+            assert 0.0 < row["reduction"] < 0.4
+
+    def test_inflated_kernels_still_assemble_and_run(self):
+        import numpy as np
+        from repro.isa.assembler import assemble_kernel
+        from repro.kernels.vecadd import VECADD
+        from repro.host.api import pack_args
+        from repro.workloads.base import make_platform
+
+        platform = make_platform()
+        runtime = platform.runtime
+        n = 256
+        a = np.arange(n, dtype=np.int64)
+        addr_a = runtime.alloc_array(a)
+        addr_b = runtime.alloc_array(a)
+        addr_c = runtime.alloc(n * 8)
+        runtime.run_kernel(_inflate_addressing(VECADD), addr_a,
+                           addr_a + n * 8, args=pack_args(addr_b, addr_c))
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, n), 2 * a)
+
+
+class TestFig14bDriver:
+    def test_speedup_monotone_in_memories(self):
+        result = run_fig14b()
+        speedups = result.column("speedup")
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 6.0

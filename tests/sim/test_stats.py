@@ -1,0 +1,152 @@
+"""Tests for statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    Distribution,
+    IntervalSampler,
+    StatsRegistry,
+    geometric_mean,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_of_four(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_p0_is_min_p100_is_max(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([42.0], 95) == 42.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1,
+                    max_size=100),
+           st.floats(min_value=0, max_value=100))
+    def test_bounded_by_min_max(self, samples, pct):
+        value = percentile(samples, pct)
+        assert min(samples) <= value <= max(samples)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2,
+                    max_size=50))
+    def test_monotone_in_pct(self, samples):
+        assert percentile(samples, 25) <= percentile(samples, 75)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+                    max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestDistribution:
+    def test_summary(self):
+        dist = Distribution()
+        for v in (1.0, 2.0, 3.0):
+            dist.add(v)
+        assert dist.count == 3
+        assert dist.mean == 2.0
+        assert dist.min == 1.0
+        assert dist.max == 3.0
+
+    def test_p95(self):
+        dist = Distribution()
+        for v in range(1, 101):
+            dist.add(float(v))
+        assert dist.p95 == pytest.approx(95.05)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            Distribution().mean
+
+
+class TestStatsRegistry:
+    def test_add_and_get(self):
+        stats = StatsRegistry()
+        stats.add("a.b")
+        stats.add("a.b", 2.0)
+        assert stats.get("a.b") == 3.0
+
+    def test_get_default(self):
+        assert StatsRegistry().get("missing", 7.0) == 7.0
+
+    def test_prefix_snapshot(self):
+        stats = StatsRegistry()
+        stats.add("dram.reads")
+        stats.add("dram.writes")
+        stats.add("cxl.bytes")
+        assert set(stats.counters("dram.")) == {"dram.reads", "dram.writes"}
+
+    def test_observe_distribution(self):
+        stats = StatsRegistry()
+        stats.observe("lat", 1.0)
+        stats.observe("lat", 3.0)
+        assert stats.distribution("lat").mean == 2.0
+
+    def test_unknown_distribution_raises(self):
+        with pytest.raises(KeyError):
+            StatsRegistry().distribution("nope")
+
+    def test_reset(self):
+        stats = StatsRegistry()
+        stats.add("x")
+        stats.reset()
+        assert stats.get("x") == 0.0
+
+
+class TestIntervalSampler:
+    def test_series_step_function(self):
+        sampler = IntervalSampler()
+        sampler.record(0.0, 0.0)
+        sampler.record(10.0, 1.0)
+        series = sampler.series(0.0, 20.0, 5)
+        values = [v for _, v in series]
+        assert values == [0.0, 0.0, 1.0, 1.0, 1.0]
+
+    def test_time_weighted_mean(self):
+        sampler = IntervalSampler()
+        sampler.record(0.0, 0.0)
+        sampler.record(5.0, 1.0)
+        # 0 for half the window, 1 for the other half
+        assert sampler.time_weighted_mean(0.0, 10.0) == pytest.approx(0.5)
+
+    def test_out_of_order_clamped(self):
+        sampler = IntervalSampler()
+        sampler.record(5.0, 1.0)
+        sampler.record(3.0, 2.0)   # clamped to 5.0
+        assert sampler.points[-1][0] == 5.0
+
+    def test_series_validation(self):
+        sampler = IntervalSampler()
+        with pytest.raises(ValueError):
+            sampler.series(0.0, 0.0, 5)
+        with pytest.raises(ValueError):
+            sampler.series(0.0, 1.0, 0)

@@ -1,0 +1,116 @@
+"""Tests for the energy model, area model (§IV-F) and analysis helpers."""
+
+import pytest
+
+from repro.analysis.roofline import fig1a_table, max_slowdown, mean_slowdown
+from repro.analysis.speedup import SpeedupRow, SpeedupTable
+from repro.area.model import (
+    alu_area_reduction_vs_sm,
+    gpu_sm_area,
+    iso_area_sm_count,
+    m2ndp_total_area,
+    ndp_unit_area,
+    register_file_reduction_vs_sm,
+)
+from repro.energy.model import EnergyModel
+from repro.sim.stats import StatsRegistry
+
+
+class TestAreaModel:
+    def test_unit_area_matches_paper(self):
+        """Paper §IV-F: one NDP unit is 0.83 mm²."""
+        assert ndp_unit_area().total_mm2 == pytest.approx(0.83, rel=0.1)
+
+    def test_register_file_part(self):
+        parts = ndp_unit_area().parts
+        assert parts["register_file"] == pytest.approx(0.25, rel=0.01)
+
+    def test_l1_scratchpad_part(self):
+        parts = ndp_unit_area().parts
+        assert parts["l1_scratchpad"] == pytest.approx(0.45, rel=0.01)
+
+    def test_total_area_matches_paper(self):
+        """Paper: 32 NDP units cost 26.4 mm²."""
+        assert m2ndp_total_area() == pytest.approx(26.4, rel=0.1)
+
+    def test_iso_area_sm_count(self):
+        """Paper: the M2NDP budget fits 16.2 Ampere SMs."""
+        assert iso_area_sm_count() == pytest.approx(16.2, rel=0.1)
+
+    def test_rf_reduction_81_percent(self):
+        assert register_file_reduction_vs_sm() == pytest.approx(0.81, abs=0.02)
+
+    def test_alu_reduction_69_percent(self):
+        assert alu_area_reduction_vs_sm() == pytest.approx(0.69, abs=0.06)
+
+    def test_sm_breakdown_positive(self):
+        assert all(v > 0 for v in gpu_sm_area().parts.values())
+
+
+class TestEnergyModel:
+    def _ndp_stats(self):
+        stats = StatsRegistry()
+        stats.add("ndp.instructions", 1e6)
+        stats.add("cxl_dram.bytes", 64e6)
+        stats.add("ndp.spad_traffic_bytes", 1e6)
+        return stats
+
+    def test_ndp_cheaper_than_host_cpu(self):
+        model = EnergyModel()
+        stats = self._ndp_stats()
+        ndp = model.ndp_run(stats, runtime_ns=200_000.0)
+        # baseline moves the same data over the link, runs ~50x longer
+        cpu = model.host_cpu_run(bytes_moved=64e6, instructions=16e6,
+                                 runtime_ns=10_000_000.0)
+        assert ndp.total_j < cpu.total_j
+        reduction = 1.0 - ndp.total_j / cpu.total_j
+        assert reduction > 0.5   # paper: 83.9% average for OLAP
+
+    def test_static_energy_scales_with_runtime(self):
+        model = EnergyModel()
+        stats = self._ndp_stats()
+        short = model.ndp_run(stats, runtime_ns=1e5)
+        long = model.ndp_run(stats, runtime_ns=1e6)
+        assert long.static_j == pytest.approx(10 * short.static_j)
+
+    def test_perf_per_energy(self):
+        model = EnergyModel()
+        breakdown = model.ndp_run(self._ndp_stats(), runtime_ns=1e5)
+        assert breakdown.perf_per_energy(1e5) > 0
+
+    def test_gpu_ndp_static_scales_with_sms(self):
+        model = EnergyModel()
+        small = model.gpu_ndp_run(64e6, 1e6, 1e6, num_sms=8)
+        big = model.gpu_ndp_run(64e6, 1e6, 1e6, num_sms=128)
+        assert big.static_j > small.static_j
+
+
+class TestRoofline:
+    def test_all_workloads_slower_on_cxl(self):
+        for row in fig1a_table():
+            assert row["slowdown"] > 1.0
+
+    def test_paper_range(self):
+        """Paper Fig 1a: up to 9.9x slowdown, 6.3x average."""
+        assert max_slowdown() == pytest.approx(9.9, rel=0.15)
+        assert mean_slowdown() == pytest.approx(6.3, rel=0.2)
+
+
+class TestSpeedupTable:
+    def test_row_speedups(self):
+        row = SpeedupRow("w", baseline_ns=100.0,
+                         config_ns={"a": 50.0, "b": 25.0})
+        assert row.speedup("a") == 2.0
+        assert row.speedups() == {"a": 2.0, "b": 4.0}
+
+    def test_gmean(self):
+        table = SpeedupTable("t")
+        table.add(SpeedupRow("w1", 100.0, {"a": 50.0}))
+        table.add(SpeedupRow("w2", 100.0, {"a": 12.5}))
+        assert table.gmean("a") == pytest.approx(4.0)
+
+    def test_render_includes_gmean(self):
+        table = SpeedupTable("t")
+        table.add(SpeedupRow("w1", 100.0, {"a": 50.0}))
+        out = table.render()
+        assert "GMEAN" in out and "w1" in out
