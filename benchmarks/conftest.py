@@ -5,12 +5,24 @@ once (simulations are deterministic — statistical repetition adds nothing),
 prints the regenerated rows next to the paper's reference values, and
 reports wall time through pytest-benchmark.
 
-Run with::
+Everything in this directory is marked ``slow`` (see ``pytest.ini``): the
+tier-1 default run deselects it.  Run with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest -m slow benchmarks/ --benchmark-only
 """
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # This hook sees the whole session's items; only mark ours.
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(item.fspath).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture

@@ -1,0 +1,89 @@
+"""Smoke benchmark: fast perf-trajectory tracking for CI.
+
+Runs the Fig 5 offload-timeline model and one Fig 10a OLAP point (TPC-H
+Q6, "small" scale) on *both* execution backends, then writes
+``BENCH_smoke.json`` with simulated results and wall-clock times.  CI runs
+this on every push so the interpreter/batched performance gap — and any
+regression in either — is recorded from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_mod
+import sys
+import time
+
+from repro.experiments.fig05 import run_fig5
+from repro.workloads import olap
+from repro.workloads.base import make_platform, scale
+
+SMOKE_QUERY = "q6"
+SMOKE_SCALE = "small"
+
+
+def bench_fig5() -> dict:
+    start = time.perf_counter()
+    result = run_fig5()
+    wall = time.perf_counter() - start
+    return {
+        "rows": result.rows,
+        "notes": result.notes,
+        "wall_seconds": wall,
+    }
+
+
+def bench_fig10a_point(query: str = SMOKE_QUERY,
+                       scale_name: str = SMOKE_SCALE) -> dict:
+    preset = scale(scale_name)
+    out: dict = {"query": query, "scale": scale_name, "rows": preset.rows}
+    for backend in ("interpreter", "batched"):
+        data = olap.generate(query, preset.rows)
+        plat = make_platform(backend=backend)
+        start = time.perf_counter()
+        run = olap.run_ndp_evaluate(plat, data)
+        wall = time.perf_counter() - start
+        out[backend] = {
+            "wall_seconds": wall,
+            "runtime_ns": run.runtime_ns,
+            "correct": run.correct,
+            "dram_bytes": run.dram_bytes,
+            "batched_launches": plat.stats.get("exec.batched_launches"),
+            "batched_fallbacks": plat.stats.get("exec.batched_fallbacks"),
+        }
+    out["batched_wall_speedup"] = (
+        out["interpreter"]["wall_seconds"] / out["batched"]["wall_seconds"]
+    )
+    out["batched_runtime_ratio"] = (
+        out["batched"]["runtime_ns"] / out["interpreter"]["runtime_ns"]
+    )
+    return out
+
+
+def main(out_path: str = "BENCH_smoke.json") -> dict:
+    payload = {
+        "python": platform_mod.python_version(),
+        "fig5": bench_fig5(),
+        "fig10a_point": bench_fig10a_point(),
+    }
+    point = payload["fig10a_point"]
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    print(f"  fig10a {point['query']}@{point['scale']}: "
+          f"interpreter {point['interpreter']['wall_seconds']:.2f}s, "
+          f"batched {point['batched']['wall_seconds']:.2f}s "
+          f"({point['batched_wall_speedup']:.1f}x wall, "
+          f"sim-time ratio {point['batched_runtime_ratio']:.2f})")
+    if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
+        raise SystemExit("smoke benchmark produced incorrect results")
+    return payload
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

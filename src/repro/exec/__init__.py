@@ -1,0 +1,61 @@
+"""Pluggable µthread execution backends.
+
+The device models in :mod:`repro.ndp` describe *what* the M2NDP hardware
+is — units, sub-cores, caches, the DRAM system.  This package decides *how*
+a kernel launch is executed against those models.  Two backends implement
+the common :class:`~repro.exec.base.ExecutionBackend` interface:
+
+``interpreter``
+    The reference path: every instruction of every µthread is functionally
+    executed and individually charged to the sub-core issue servers, TLBs,
+    caches and DRAM banks.  Cycle-level FGMT behaviour (context occupancy,
+    spawn granularity, atomics interleaving) is bit-exact; cost is
+    O(µthreads x instructions) Python work per launch.
+
+``batched``
+    The trace-once/replay-many fast path for bulk-synchronous launches
+    whose µthreads are structurally identical (the common case for the
+    paper's kernels: every body µthread runs the same code over a different
+    pool slice).  One representative µthread is interpreted to capture the
+    dynamic instruction trace; the remaining µthreads are then executed
+    *functionally* in one numpy-vectorized sweep (registers become arrays
+    over the launch), and *timing* is replayed analytically: the *trace's*
+    per-FU instruction counts bound issue throughput, and the launch's
+    sector-unique address stream is fed through the existing memory-side
+    L2 / banked-DRAM virtual-time models.  Results in memory are identical
+    to the interpreter's; launch runtime is a throughput/latency roofline
+    rather than an event-by-event schedule (see ``docs`` below).
+
+Backend selection
+-----------------
+
+* ``NDPConfig.backend`` (default ``"interpreter"``) picks the device-wide
+  default; the ``REPRO_EXEC_BACKEND`` environment variable overrides that
+  default, and an explicit ``backend=`` argument to
+  :func:`repro.workloads.base.make_platform` or ``M2NDPDevice`` always
+  wins (experiments pinned to the interpreter must not be overridden from
+  the environment).
+* Experiments default to ``batched`` via
+  ``repro.experiments.common.EXPERIMENT_BACKEND`` — except the
+  microarchitectural studies (Fig 6 context occupancy, Fig 12a spawn
+  granularity ablation) which need the bit-exact interpreter.
+* The batched backend *automatically falls back* to the interpreter, per
+  launch, whenever a kernel is not trace-replayable: initializer/finalizer
+  sections or multiple bodies, any atomic (AMO/VAMO — histogram and graph
+  reductions land here), indexed gathers/scatters, scratchpad stores,
+  µthread-divergent branches, read-after-write hazards through memory, or
+  launches too small to amortize tracing.  Fallbacks are counted in the
+  ``exec.batched_fallbacks`` stat; fast-path launches in
+  ``exec.batched_launches``.
+"""
+
+from repro.exec.base import ExecutionBackend, make_backend
+from repro.exec.interpreter import InterpreterBackend
+from repro.exec.batched import BatchedBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "BatchedBackend",
+    "make_backend",
+]

@@ -24,7 +24,9 @@ def run_fig6a(scale_name: str = "small", steps: int = 10) -> ExperimentResult:
     data = graph.generate(preset.nodes, preset.avg_degree)
 
     # M2NDP: run one PageRank iteration, sample per-unit occupancy.
-    platform = make_platform()
+    # Pinned to the interpreter backend: this figure measures per-slot
+    # context occupancy over time, which only the per-µthread engine tracks.
+    platform = make_platform(backend="interpreter")
     ndp_run = graph.run_ndp_pagerank(platform, data, iterations=1)
     end = max(platform.sim.now, 1.0)
     ndp_series = platform.device.total_active_ratio_series(0.0, end, steps)
@@ -78,7 +80,7 @@ def run_fig6b(scale_name: str = "small", nbins: int = 256,
     """HISTO global/scratchpad traffic: M2NDP vs GPU-NDP(Iso-Area)."""
     preset = scale(scale_name)
     data = histogram.generate(preset.elements, nbins)
-    platform = make_platform()
+    platform = make_platform(backend="interpreter")
     run = histogram.run_ndp(platform, data)
 
     elements = preset.elements

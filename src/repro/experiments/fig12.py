@@ -14,7 +14,7 @@ from __future__ import annotations
 import re
 
 from repro.cxl.switch import CXLSwitch
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import EXPERIMENT_BACKEND, ExperimentResult
 from repro.host.offload import CXL_IO_ONE_WAY_NS
 from repro.workloads import dlrm, graph, histogram, llm
 from repro.workloads.base import make_platform, scale
@@ -47,10 +47,14 @@ def run_fig12a(scale_name: str = "small") -> ExperimentResult:
         "DLRM-B32": lambda p, inflate: _dlrm_run(p, preset, inflate),
         "PGRANK": lambda p, inflate: _pgrank_run(p, preset, inflate),
     }
+    # Pinned to the interpreter backend: the spawn-granularity and
+    # issue-slot effects this ablation measures exist only on the
+    # per-µthread engine.
     for name, run_fn in cases.items():
-        base = run_fn(make_platform(), False)
-        coarse = run_fn(make_platform(spawn_granularity=16), False)
-        no_addr = run_fn(make_platform(), True)
+        base = run_fn(make_platform(backend="interpreter"), False)
+        coarse = run_fn(
+            make_platform(spawn_granularity=16, backend="interpreter"), False)
+        no_addr = run_fn(make_platform(backend="interpreter"), True)
         # w/o M2func: same kernel, launched through the ring buffer — adds
         # the Fig 5b pre/post overheads to every launch.
         rb_overhead = 8 * CXL_IO_ONE_WAY_NS
@@ -182,7 +186,7 @@ def run_fig12b(scale_name: str = "small",
 
 def _partitioned_run(kind: str, data, fraction: float) -> float:
     """Run one device's share of the partitioned workload."""
-    platform = make_platform()
+    platform = make_platform(backend=EXPERIMENT_BACKEND)
     if kind == "dlrm":
         batch = max(1, int(data.batch * fraction))
         part = dlrm.generate(data.table.shape[0], batch=batch,

@@ -12,8 +12,9 @@ round trips overlap with other µthreads, so the paper sees only a
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import EXPERIMENT_BACKEND, ExperimentResult
 from repro.workloads import dlrm, histogram
+from repro.config import default_system
 from repro.workloads.base import make_platform, scale
 
 
@@ -26,7 +27,8 @@ def run_fig13a_frequency(scale_name: str = "small") -> ExperimentResult:
     )
     runtimes: dict[float, float] = {}
     for freq in (1.0, 2.0, 3.0):
-        platform = make_platform(make_platform().system.with_ndp_freq(freq))
+        platform = make_platform(default_system().with_ndp_freq(freq),
+                                 backend=EXPERIMENT_BACKEND)
         run = histogram.run_ndp(platform, data)
         runtimes[freq] = run.runtime_ns
     for freq, ns in runtimes.items():
@@ -51,8 +53,8 @@ def run_fig13a_ltu(scale_name: str = "small") -> ExperimentResult:
     )
     ndp_runtime = None
     for factor, ltu in ((1, 150.0), (2, 300.0), (4, 600.0)):
-        system = make_platform().system.with_ltu(ltu)
-        platform = make_platform(system)
+        system = default_system().with_ltu(ltu)
+        platform = make_platform(system, backend=EXPERIMENT_BACKEND)
         run = olap.run_ndp_evaluate(platform, data)
         if ndp_runtime is None:
             ndp_runtime = run.runtime_ns
@@ -79,7 +81,7 @@ def run_fig13b(scale_name: str = "small",
     )
     baseline_ns = None
     for fraction in dirty_fractions:
-        platform = make_platform(dirty_fraction=fraction)
+        platform = make_platform(dirty_fraction=fraction, backend=EXPERIMENT_BACKEND)
         run = dlrm.run_ndp(platform, data)
         if baseline_ns is None:
             baseline_ns = run.runtime_ns

@@ -8,9 +8,10 @@ from __future__ import annotations
 
 from repro.config import GPU_NDP_ISO_AREA_SMS
 from repro.energy.model import EnergyModel
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import EXPERIMENT_BACKEND, ExperimentResult
 from repro.experiments.fig10 import _gpu_configs, _run_gpu, build_cases
 from repro.workloads import olap
+from repro.config import default_system
 from repro.workloads.base import make_platform, scale
 
 
@@ -23,7 +24,7 @@ def run_fig15_olap(scale_name: str = "small") -> ExperimentResult:
     )
     for query in ("q6", "q1_3"):
         data = olap.generate(query, preset.rows)
-        platform = make_platform()
+        platform = make_platform(backend=EXPERIMENT_BACKEND)
         ndp = olap.run_ndp_evaluate(platform, data)
         base_ns = olap.baseline_evaluate_ns(data)
         bytes_moved = data.rows * data.query.bytes_per_row
@@ -53,7 +54,7 @@ def run_fig15_gpu(scale_name: str = "small",
                   ) -> ExperimentResult:
     """Energy for a subset of GPU workloads across three configurations."""
     model = EnergyModel()
-    system = make_platform().system
+    system = default_system()
     configs = _gpu_configs(system)
     result = ExperimentResult(
         "fig15-gpu", "GPU workload energy: baseline vs GPU-NDP(IsoArea) vs M2NDP"

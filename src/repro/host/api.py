@@ -165,7 +165,13 @@ class M2NDPRuntime:
     # low-level M2func machinery
     # ------------------------------------------------------------------
 
-    def _func_addr(self, func: int) -> int:
+    def func_addr(self, func: int) -> int:
+        """Host-visible address of one M2func function in this process's
+        region (Table II: functions are strided 32 B from the base).
+
+        Offload mechanisms and tests use this to target M2func calls
+        directly; it is part of the runtime's public surface.
+        """
         return self.filter_entry.base + (func << FUNC_STRIDE_SHIFT)
 
     def call_async(self, func: int, payload: bytes,
@@ -173,7 +179,7 @@ class M2NDPRuntime:
         """Issue write → fence → read; the returned future resolves with the
         function's return value at host-observed time."""
         start = self.now if at_ns is None else at_ns
-        addr = self._func_addr(func)
+        addr = self.func_addr(func)
         call = M2Call(func=func, issued_ns=start)
 
         ack_time = self.device.host_write(

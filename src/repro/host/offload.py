@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.host.api import LaunchHandle, M2Call, M2NDPRuntime, pack_args
+from repro.ndp.controller import FUNC_LAUNCH
 
 #: One-way latency defaults (§IV-A / Fig 5): x = 75 ns CXL.mem,
 #: y = 500 ns CXL.io (from ~1 µs DMA).
@@ -115,7 +116,7 @@ class _CXLioPath(OffloadPath):
         def do_launch() -> None:
             payload = pack_args(0, kernel_id, pool_base, pool_bound, stride,
                                 len(args)) + args
-            launch_addr = runtime._func_addr(2)
+            launch_addr = runtime.func_addr(FUNC_LAUNCH)
             device.controller.handle_write(
                 runtime.filter_entry, launch_addr, payload, device.sim.now
             )

@@ -168,6 +168,21 @@ class PhysicalMemory:
         raw = self.read_bytes(addr, dt.itemsize * count)
         return np.frombuffer(raw, dtype=dt).copy()
 
+    def page_array(self, index: int, create: bool = False) -> np.ndarray | None:
+        """Writable uint8 view of one backing page, for vectorized access.
+
+        Returns ``None`` for a page that was never written (reads as zeros)
+        unless ``create`` is set.  Views alias the page storage: writes are
+        immediately visible to the byte accessors.
+        """
+        self._check_range(index * PAGE_SIZE, PAGE_SIZE)
+        page = self._pages.get(index)
+        if page is None:
+            if not create:
+                return None
+            page = self._page(index)
+        return np.frombuffer(page, dtype=np.uint8)
+
     # -- bookkeeping ------------------------------------------------------------
 
     @property

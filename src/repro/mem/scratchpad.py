@@ -85,6 +85,13 @@ class Scratchpad:
         self.stats.add(f"{self.prefix}.bytes", 2 * size)
         return old
 
+    def view(self):
+        """Writable uint8 numpy view of the scratchpad contents (the batched
+        execution backend gathers argument blocks through this)."""
+        import numpy as np
+
+        return np.frombuffer(self._data, dtype=np.uint8)
+
     # ------------------------------------------------------------------
 
     def clear(self) -> None:

@@ -2,17 +2,11 @@
 
 Owns the physical memory (HDM), the banked LPDDR5 DRAM model, the
 memory-side L2, the CXL link + packet filter, the NDP controller and the 32
-NDP units — and runs the µthread execution engine on the shared
-discrete-event simulator.
-
-Execution engine
-----------------
-µthreads advance in *bursts*: a woken thread executes instructions inline
-(charging its sub-core's dispatch/FU virtual-time servers) until it issues
-a long memory access, finishes, or hits the burst cap; then an event is
-scheduled at its next ready time.  Short accesses (scratchpad / L1 hits)
-continue inline, so the event count is proportional to DRAM accesses, not
-instructions — that is what makes a pure-Python cycle-level model feasible.
+NDP units.  Kernel launches are *executed* by a pluggable backend from
+:mod:`repro.exec` (selected via ``NDPConfig.backend`` or the ``backend``
+constructor argument): the per-instruction interpreter or the batched
+trace-replay fast path.  The device itself only provides the shared
+memory-system services and the host-facing CXL.mem entry points.
 """
 
 from __future__ import annotations
@@ -26,28 +20,21 @@ from repro.cxl.link import CXLLink
 from repro.cxl.packet_filter import PacketFilter
 from repro.cxl.protocol import CXLPacket, PacketType
 from repro.errors import LaunchError
+from repro.exec.base import make_backend
 from repro.isa.assembler import KernelProgram
-from repro.isa.executor import execute
 from repro.mem.dram import DRAMModel
 from repro.mem.cache import SectorCache
 from repro.mem.physical import PhysicalMemory
 from repro.mem.scratchpad import _apply_amo
 from repro.ndp.controller import NDPController, ReadResponse
-from repro.ndp.generator import SPAWN_LATENCY_NS, KernelExecution
+from repro.ndp.generator import KernelExecution
 from repro.ndp.tlb import DRAM_TLB_ENTRY_BYTES, DRAMTLB, PageTable
 from repro.ndp.unit import NDPUnit
-from repro.ndp.uthread import UThread
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
 
 #: Device-internal fixed overhead on the CXL request path (port + filter).
 DEVICE_PORT_NS = 10.0
-
-#: Instructions a thread may execute before yielding the event loop.
-BURST_CAP = 256
-
-#: Memory completions within this window continue inline (L1/scratchpad).
-INLINE_WINDOW_NS = 8.0
 
 _AMO_INT = {4: struct.Struct("<i"), 8: struct.Struct("<q")}
 _AMO_FLT = {4: struct.Struct("<f"), 8: struct.Struct("<d")}
@@ -64,6 +51,7 @@ class M2NDPDevice:
         spawn_granularity: int = 1,
         dirty_fraction: float = 0.0,
         queue_capacity: int = 4096,
+        backend: str | None = None,
     ) -> None:
         self.sim = sim
         self.config = config if config is not None else SystemConfig()
@@ -84,8 +72,9 @@ class M2NDPDevice:
             NDPUnit(i, self.config.ndp, self, self.stats, spawn_granularity)
             for i in range(self.config.ndp.num_units)
         ]
-        self.active_executions: list[KernelExecution] = []
-        self._fill_cursor = 0
+        self.backend = make_backend(
+            backend if backend is not None else self.config.ndp.backend, self
+        )
         # DRAM-TLB region lives at the top of device memory.
         self._dram_tlb_base = (
             self.config.cxl_dram.capacity_bytes - self.dram_tlb.region_bytes
@@ -204,109 +193,19 @@ class M2NDPDevice:
         self.sim.schedule_at(at_host, partial(callback, data, at_host))
 
     # ------------------------------------------------------------------
-    # µthread execution engine
+    # µthread execution (delegated to the pluggable backend)
     # ------------------------------------------------------------------
+
+    @property
+    def active_executions(self) -> list[KernelExecution]:
+        return self.backend.active_executions
 
     def register_execution(self, execution: KernelExecution,
                            now_ns: float) -> None:
-        self.active_executions.append(execution)
-        self.fill_all_units(max(now_ns, self.sim.now))
+        self.backend.register_execution(execution, now_ns)
 
     def unregister_execution(self, execution: KernelExecution) -> None:
-        if execution in self.active_executions:
-            self.active_executions.remove(execution)
-
-    def fill_all_units(self, now_ns: float) -> None:
-        for unit in self.units:
-            self._fill_unit(unit, now_ns)
-
-    def _fill_unit(self, unit: NDPUnit, now_ns: float) -> None:
-        executions = self.active_executions
-        if not executions:
-            return
-        progress = True
-        while progress:
-            progress = False
-            for step in range(len(executions)):
-                ex = executions[(self._fill_cursor + step) % len(executions)]
-                if ex.finished or not ex.has_pending_for_unit(unit.index):
-                    continue
-                allocation = unit.occupancy.try_allocate(ex.rf_bytes)
-                if allocation is None:
-                    continue
-                descriptor = ex.take_for_unit(unit.index)
-                thread = UThread(
-                    instance=ex.instance,
-                    program=descriptor.program,
-                    phase=descriptor.phase,
-                    unit_index=unit.index,
-                    allocation=allocation,
-                    mapped_addr=descriptor.mapped_addr,
-                    offset=descriptor.offset,
-                    args_vaddr=ex.args_vaddr,
-                )
-                thread.body_index = descriptor.body_index
-                thread.ready_ns = now_ns + SPAWN_LATENCY_NS
-                ex.outstanding += 1
-                self.stats.add("ndp.uthreads_spawned")
-                unit.occupancy.sample(now_ns)
-                self.sim.schedule_at(
-                    thread.ready_ns, partial(self._run_thread, thread, ex)
-                )
-                progress = True
-        self._fill_cursor += 1
-
-    def _run_thread(self, thread: UThread, execution: KernelExecution) -> None:
-        unit = self.units[thread.unit_index]
-        subcore = unit.subcores[thread.allocation.subcore_index]
-        memory = unit.memory_for(thread.instance.asid)
-        instructions = thread.program.instructions
-        count = len(instructions)
-        t = thread.ready_ns
-        asid = thread.instance.asid
-
-        for _ in range(BURST_CAP):
-            if thread.pc >= count:
-                self._finish_thread(thread, execution, unit, t)
-                return
-            inst = instructions[thread.pc]
-            start, exec_done = subcore.issue(inst, t)
-            result = execute(inst, thread.regs, memory)
-            thread.instructions_executed += 1
-
-            if result.done:
-                self._finish_thread(thread, execution, unit, exec_done)
-                return
-            thread.pc = result.jump_to if result.jump_to is not None else thread.pc + 1
-
-            if result.accesses:
-                completion = unit.timed_accesses(result.accesses, exec_done, asid)
-                if completion - exec_done <= INLINE_WINDOW_NS:
-                    t = completion
-                    continue
-                thread.ready_ns = completion
-                self.sim.schedule_at(
-                    completion, partial(self._run_thread, thread, execution)
-                )
-                return
-            t = exec_done
-
-        thread.ready_ns = t
-        self.sim.schedule_at(t, partial(self._run_thread, thread, execution))
-
-    def _finish_thread(self, thread: UThread, execution: KernelExecution,
-                       unit: NDPUnit, now_ns: float) -> None:
-        unit.occupancy.release(thread.allocation)
-        unit.occupancy.sample(now_ns)
-        execution.instance.instructions += thread.instructions_executed
-        self.stats.add("ndp.instructions", thread.instructions_executed)
-        self.stats.add("ndp.uthreads_finished")
-        now = max(now_ns, self.sim.now)
-        barrier_crossed = execution.on_thread_done(now_ns)
-        if barrier_crossed:
-            self.fill_all_units(now)
-        else:
-            self._fill_unit(unit, now)
+        self.backend.unregister_execution(execution)
 
     # ------------------------------------------------------------------
     # introspection helpers for experiments

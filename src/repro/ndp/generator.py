@@ -182,6 +182,32 @@ class KernelExecution:
         assert self._plan is not None
         return self._plan.take(unit)
 
+    def consume_plan(self) -> None:
+        """Drop every pending µthread without completing the execution.
+
+        Called by backends that execute the whole launch out of band (the
+        batched fast path): once ownership is taken, the per-µthread fill
+        machinery must see nothing pending, or a concurrent interpreter
+        refill would execute the launch a second time.
+        """
+        self._phase_idx = len(self._phases)
+        self._plan = None
+
+    def finish_now(self, now_ns: float) -> None:
+        """Mark the whole execution complete in one step.
+
+        Used by analytic backends (``repro.exec.batched``) that execute the
+        launch outside the per-µthread spawn/drain machinery; mirrors the
+        final transition of :meth:`on_thread_done`.
+        """
+        self.consume_plan()
+        self.outstanding = 0
+        if not self._completed:
+            self._completed = True
+            self.instance.status = KernelStatus.FINISHED
+            self.instance.complete_ns = now_ns
+            self.on_complete(self, now_ns)
+
     def on_thread_done(self, now_ns: float) -> bool:
         """Account a finished µthread.  Returns True when a *phase barrier*
         was crossed (caller must refill all units) and kernel completion is

@@ -32,7 +32,10 @@ def percentile(samples: list[float], pct: float) -> float:
     if lo == hi:
         return ordered[lo]
     frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    value = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    # FP rounding of the interpolation must not escape the bracketing
+    # samples (e.g. -53*(0.92) + -53*0.08 can land below -53).
+    return min(max(value, ordered[lo]), ordered[hi])
 
 
 def geometric_mean(values: list[float]) -> float:

@@ -9,6 +9,7 @@ scale used for every number).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,9 +41,22 @@ def make_platform(system: SystemConfig | None = None,
                   spawn_granularity: int = 1,
                   dirty_fraction: float = 0.0,
                   queue_capacity: int = 4096,
-                  asid: int = 0x7) -> Platform:
-    """Build a fresh simulator/device/runtime bundle."""
+                  asid: int = 0x7,
+                  backend: str | None = None) -> Platform:
+    """Build a fresh simulator/device/runtime bundle.
+
+    ``backend`` selects the µthread execution backend ("interpreter" or
+    "batched", see :mod:`repro.exec`).  ``None`` uses the
+    ``REPRO_EXEC_BACKEND`` environment variable if set, else the system
+    config's default.  An explicit ``backend`` argument always wins: some
+    experiments pin the interpreter for correctness (Fig 6 occupancy,
+    Fig 12a spawn granularity) and must not be overridden from the
+    environment.  To flip the experiment drivers' default, use
+    ``REPRO_EXPERIMENT_BACKEND`` (see ``repro.experiments.common``).
+    """
     system = system if system is not None else default_system()
+    if backend is None:
+        backend = os.environ.get("REPRO_EXEC_BACKEND")
     sim = Simulator()
     device = M2NDPDevice(
         sim,
@@ -50,6 +64,7 @@ def make_platform(system: SystemConfig | None = None,
         spawn_granularity=spawn_granularity,
         dirty_fraction=dirty_fraction,
         queue_capacity=queue_capacity,
+        backend=backend,
     )
     runtime = M2NDPRuntime(device, asid=asid)
     return Platform(sim=sim, device=device, runtime=runtime, system=system)

@@ -1,0 +1,295 @@
+"""Execution-backend tests: selection, cross-equivalence, fallback.
+
+The batched backend must produce *byte-identical* functional results to
+the interpreter on the replayable kernels (vecadd, gemv, the OLAP filter),
+stay within the documented tolerance on launch timing, and silently fall
+back to the interpreter on everything it cannot replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import NDPConfig, SystemConfig, default_system
+from repro.errors import ConfigError
+from repro.exec import BatchedBackend, InterpreterBackend, make_backend
+from repro.host.api import pack_args
+from repro.kernels.gemv import GEMV_F32
+from repro.kernels.olap import EVAL_RANGE_I32, MASK_AND
+from repro.kernels.reduction import REDUCE_SUM_I64
+from repro.kernels.vecadd import VECADD, VECADD_F32
+from repro.workloads import olap
+from repro.workloads.base import make_platform
+
+#: Relative tolerance on launch runtime between backends: the batched
+#: path's roofline timing tracks the interpreter's event-driven schedule
+#: but is not bit-identical (see repro/exec docstring).
+TIMING_RTOL = 0.45
+
+
+def _platforms():
+    return make_platform(backend="interpreter"), make_platform(backend="batched")
+
+
+def _batched_stats(platform):
+    return (platform.stats.get("exec.batched_launches"),
+            platform.stats.get("exec.batched_fallbacks"))
+
+
+class TestSelection:
+    def test_default_is_interpreter(self):
+        platform = make_platform()
+        assert isinstance(platform.device.backend, InterpreterBackend)
+        assert not isinstance(platform.device.backend, BatchedBackend)
+
+    def test_batched_selected_by_name(self):
+        platform = make_platform(backend="batched")
+        assert isinstance(platform.device.backend, BatchedBackend)
+
+    def test_config_default_backend(self):
+        system = SystemConfig(ndp=NDPConfig(backend="batched"))
+        platform = make_platform(system)
+        assert isinstance(platform.device.backend, BatchedBackend)
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "batched")
+        platform = make_platform()
+        assert isinstance(platform.device.backend, BatchedBackend)
+
+    def test_explicit_backend_beats_env_var(self, monkeypatch):
+        # Experiments pin the interpreter for correctness (Fig 6 / Fig
+        # 12a); the environment must not silently override those pins.
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "batched")
+        platform = make_platform(backend="interpreter")
+        assert not isinstance(platform.device.backend, BatchedBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            make_platform(backend="jit")
+
+    def test_unknown_config_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            NDPConfig(backend="jit")
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            make_backend("nope", device=None)
+
+    def test_device_delegates_active_executions(self):
+        platform = make_platform(backend="batched")
+        assert platform.device.active_executions == []
+
+
+class TestVecaddEquivalence:
+    N = 4096
+
+    def _run(self, platform, source, dtype, mult):
+        runtime = platform.runtime
+        n = self.N
+        a = (np.arange(n) * mult).astype(dtype)
+        b = (np.arange(n)[::-1] * mult).astype(dtype)
+        addr_a = runtime.alloc_array(a)
+        addr_b = runtime.alloc_array(b)
+        addr_c = runtime.alloc(a.nbytes)
+        instance = runtime.run_kernel(
+            source, addr_a, addr_a + a.nbytes, args=pack_args(addr_b, addr_c)
+        )
+        return runtime.read_array(addr_c, dtype, n), instance.runtime_ns
+
+    def test_int64_rows_match(self):
+        interp, batched = _platforms()
+        out_i, ns_i = self._run(interp, VECADD, np.int64, 7)
+        out_b, ns_b = self._run(batched, VECADD, np.int64, 7)
+        assert np.array_equal(out_i, out_b)
+        assert out_i[5] == 5 * 7 + (self.N - 6) * 7
+        assert ns_b == pytest.approx(ns_i, rel=TIMING_RTOL)
+        assert _batched_stats(batched) == (1, 0)
+
+    def test_f32_bitwise_match(self):
+        interp, batched = _platforms()
+        out_i, _ = self._run(interp, VECADD_F32, np.float32, 0.25)
+        out_b, _ = self._run(batched, VECADD_F32, np.float32, 0.25)
+        assert np.array_equal(out_i.view(np.uint32), out_b.view(np.uint32))
+
+    def test_dram_traffic_matches(self):
+        interp, batched = _platforms()
+        self._run(interp, VECADD, np.int64, 3)
+        self._run(batched, VECADD, np.int64, 3)
+        assert (interp.stats.get("cxl_dram.bytes")
+                == batched.stats.get("cxl_dram.bytes"))
+        assert (interp.stats.get("ndp.global_traffic_bytes")
+                == batched.stats.get("ndp.global_traffic_bytes"))
+        assert (interp.stats.get("ndp.instructions")
+                == batched.stats.get("ndp.instructions"))
+
+
+class TestGemvEquivalence:
+    def _run(self, platform, rows=512, dim=64):
+        gen = np.random.default_rng(7)
+        weights = gen.normal(0, 0.1, (rows, dim)).astype(np.float32)
+        x = gen.normal(0, 1, dim).astype(np.float32)
+        runtime = platform.runtime
+        w_addr = runtime.alloc_array(weights)
+        x_addr = runtime.alloc_array(x)
+        out_addr = runtime.alloc(rows * 4)
+        instance = runtime.run_kernel(
+            GEMV_F32, out_addr, out_addr + rows * 4,
+            args=pack_args(w_addr, x_addr, dim), stride=4,
+        )
+        return runtime.read_array(out_addr, np.float32, rows), instance.runtime_ns
+
+    def test_bitwise_outputs_and_timing(self):
+        interp, batched = _platforms()
+        out_i, ns_i = self._run(interp)
+        out_b, ns_b = self._run(batched)
+        # The batched reduction accumulates in the scalar executor's exact
+        # element order, so even float results are bit-identical.
+        assert np.array_equal(out_i.view(np.uint32), out_b.view(np.uint32))
+        assert ns_b == pytest.approx(ns_i, rel=TIMING_RTOL)
+        assert _batched_stats(batched) == (1, 0)
+
+
+class TestOlapEquivalence:
+    @pytest.mark.parametrize("query", ["q6", "q14", "q1_2"])
+    def test_rows_match(self, query):
+        rows = 1 << 13
+        results = {}
+        for backend in ("interpreter", "batched"):
+            data = olap.generate(query, rows)
+            platform = make_platform(backend=backend)
+            run = olap.run_ndp_evaluate(platform, data)
+            results[backend] = (run, platform)
+        run_i, _ = results["interpreter"]
+        run_b, platform_b = results["batched"]
+        assert run_i.correct and run_b.correct
+        assert run_i.dram_bytes == run_b.dram_bytes
+        assert run_b.runtime_ns == pytest.approx(run_i.runtime_ns,
+                                                 rel=TIMING_RTOL)
+        launches, fallbacks = _batched_stats(platform_b)
+        assert launches == run_b.instance_count
+        assert fallbacks == 0
+
+    def test_mask_and_aliasing_is_replayed(self):
+        # MASK_AND reads the pool region and writes over it (the combined
+        # mask lands on mask A); the write buffering must preserve the
+        # read-before-write program order.
+        rows = 4096
+        outs = {}
+        for backend in ("interpreter", "batched"):
+            platform = make_platform(backend=backend)
+            runtime = platform.runtime
+            gen = np.random.default_rng(3)
+            mask_a = gen.integers(0, 2, rows).astype(np.uint8)
+            mask_b = gen.integers(0, 2, rows).astype(np.uint8)
+            addr_a = runtime.alloc_array(mask_a)
+            addr_b = runtime.alloc_array(mask_b)
+            runtime.run_kernel(MASK_AND, addr_a, addr_a + rows,
+                               args=pack_args(addr_b, addr_a))
+            outs[backend] = runtime.read_array(addr_a, np.uint8, rows)
+            expected = mask_a & mask_b
+            assert np.array_equal(outs[backend], expected)
+        assert np.array_equal(outs["interpreter"], outs["batched"])
+
+
+class TestFallback:
+    def test_amo_kernel_falls_back(self):
+        # REDUCE_SUM uses .init/.final sections and amoadd — exactly the
+        # shape the batched path must hand to the interpreter.
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n = 2048
+        values = np.arange(n, dtype=np.int64)
+        addr = runtime.alloc_array(values)
+        out = runtime.alloc(8)
+        runtime.run_kernel(REDUCE_SUM_I64, addr, addr + n * 8,
+                           args=pack_args(out), scratchpad_bytes=64)
+        assert runtime.read_array(out, np.int64, 1)[0] == values.sum()
+        launches, fallbacks = _batched_stats(platform)
+        assert launches == 0
+        assert fallbacks == 1
+
+    def test_small_launch_falls_back(self):
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n = 32                      # 8 µthreads: below the batch threshold
+        a = np.arange(n, dtype=np.int64)
+        addr_a = runtime.alloc_array(a)
+        addr_b = runtime.alloc_array(a)
+        addr_c = runtime.alloc(n * 8)
+        runtime.run_kernel(VECADD, addr_a, addr_a + n * 8,
+                           args=pack_args(addr_b, addr_c))
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, n), 2 * a)
+        launches, fallbacks = _batched_stats(platform)
+        assert launches == 0
+        assert fallbacks == 1
+
+    def test_fallback_leaves_memory_consistent(self):
+        # A divergent-branch kernel: threads branch on their own offset
+        # parity, which the lockstep walk cannot follow.  The interpreter
+        # fallback must still produce the right result, and the aborted
+        # walk must not have leaked partial stores.
+        source = """
+        .body
+            ld      x4, 0(x3)        // output base
+            add     x4, x4, x2
+            srli    x5, x2, 5        // slice index
+            andi    x6, x5, 1
+            bnez    x6, odd
+            li      x7, 111
+            sd      x7, 0(x4)
+            ret
+        odd:
+            li      x7, 222
+            sd      x7, 0(x4)
+            ret
+        """
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n_slices = 256
+        pool = runtime.alloc(n_slices * 32)
+        out = runtime.alloc(n_slices * 32)
+        runtime.run_kernel(source, pool, pool + n_slices * 32,
+                           args=pack_args(out))
+        produced = runtime.read_array(out, np.int64, n_slices * 4)
+        expected = np.zeros(n_slices * 4, dtype=np.int64)
+        expected[::8] = 111          # even slices write at offset 0 of 32B
+        expected[4::8] = 222
+        assert np.array_equal(produced, expected)
+        launches, fallbacks = _batched_stats(platform)
+        assert launches == 0
+        assert fallbacks == 1
+
+
+class TestConcurrentLaunches:
+    def test_fallback_launch_does_not_reexecute_batched_one(self):
+        # Regression: a fast-path launch must be invisible to the
+        # interpreter's fill scan while its completion is pending — a
+        # concurrent fallback launch used to re-spawn all of its µthreads.
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n = 4096
+        a = np.arange(n, dtype=np.int64)
+        addr_a = runtime.alloc_array(a)
+        addr_b = runtime.alloc_array(a)
+        addr_c = runtime.alloc(n * 8)
+        big = runtime.register_kernel(VECADD, name="big")
+        small = runtime.register_kernel(VECADD, name="small")
+
+        handle_big = runtime.launch_async(
+            big, addr_a, addr_a + n * 8, args=pack_args(addr_b, addr_c),
+            sync=False,
+        )
+        # 8 µthreads: below the batch threshold, runs on the interpreter
+        # and triggers fill_all_units while the batched launch is in flight
+        addr_d = runtime.alloc(8 * 32)
+        handle_small = runtime.launch_async(
+            small, addr_a, addr_a + 8 * 32, args=pack_args(addr_b, addr_d),
+            sync=False,
+        )
+        runtime.wait_all()
+        assert handle_big.complete_ns is not None
+        assert handle_small.complete_ns is not None
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, n), 2 * a)
+        expected_threads = n * 8 // 32 + 8
+        assert platform.stats.get("ndp.uthreads_spawned") == expected_threads
+        assert platform.stats.get("ndp.uthreads_finished") == expected_threads
+        assert _batched_stats(platform) == (1, 1)

@@ -84,7 +84,7 @@ class TestM2FuncRegion:
         assert e1.bound <= e2.base or e2.bound <= e1.base
 
     def test_function_addresses_strided_32b(self, runtime):
-        assert runtime._func_addr(1) - runtime._func_addr(0) == 32
+        assert runtime.func_addr(1) - runtime.func_addr(0) == 32
 
     def test_call_async_resolves_via_sim(self, runtime):
         call = runtime.call_async(3, pack_args(999))   # poll unknown id

@@ -99,7 +99,7 @@ class TestTableII:
         plain CXL.mem read retrieves them (§III-B)."""
         _, device, runtime = platform
         kid = runtime.register_kernel(VECADD)
-        addr = runtime._func_addr(0)
+        addr = runtime.func_addr(0)
         import struct
         stored = struct.unpack("<q", device.physical.read_bytes(addr, 8))[0]
         assert stored == kid

@@ -178,3 +178,64 @@ class TestBandwidthServer:
         for size in sizes:
             finish = server.transfer(0.0, size)
         assert finish >= sum(sizes) / 8.0 - 1e-9
+
+
+class TestServerReset:
+    def test_issue_server_reset_clears_backlog_and_counts(self):
+        server = IssueServer(width=2, period_ns=1.0)
+        for _ in range(8):
+            server.issue(0.0)
+        assert server.busy_until > 0.0
+        assert server.ops_issued == 8
+        server.reset()
+        assert server.busy_until == 0.0
+        assert server.ops_issued == 0
+        # a post-reset op starts immediately again
+        assert server.issue(0.0) == 0.0
+
+    def test_bandwidth_server_reset_clears_occupancy_and_bytes(self):
+        server = BandwidthServer(4.0)
+        server.transfer(0.0, 64)
+        assert server.occupancy_end() > 0.0
+        assert server.bytes_transferred == 64
+        server.reset()
+        assert server.occupancy_end() == 0.0
+        assert server.bytes_transferred == 0
+        assert server.transfer(0.0, 8) == pytest.approx(2.0)
+
+
+class TestRunUntil:
+    def test_until_advances_now_past_last_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run(until=7.5)
+        # the queue drained at t=1 but time still advances to the horizon
+        # so components can be sampled at that exact instant
+        assert fired == [1.0]
+        assert sim.now == 7.5
+
+    def test_until_on_empty_queue_advances_now(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_until_before_now_keeps_now(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        sim.run(until=2.0)
+        assert sim.now == 5.0
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(4.0, lambda: fired.append(4))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run(until=10.0)
+        assert fired == [1, 4]
+        assert sim.now == 10.0
