@@ -1,10 +1,12 @@
 """Smoke benchmark: fast perf-trajectory tracking for CI.
 
-Runs the Fig 5 offload-timeline model and one Fig 10a OLAP point (TPC-H
-Q6, "small" scale) on *both* execution backends, then writes
+Runs the Fig 5 offload-timeline model, one Fig 10a OLAP point (TPC-H
+Q6, "small" scale) on *both* execution backends, and one cluster point
+(2-device interleaved vecadd vs 1 device), then writes
 ``BENCH_smoke.json`` with simulated results and wall-clock times.  CI runs
-this on every push so the interpreter/batched performance gap — and any
-regression in either — is recorded from PR to PR.
+this on every push so the interpreter/batched performance gap, the
+scale-out speedup, and any regression in either are recorded from PR to
+PR.
 
 Usage::
 
@@ -18,12 +20,21 @@ import platform as platform_mod
 import sys
 import time
 
+import numpy as np
+
+from repro.cluster import make_cluster_platform
 from repro.experiments.fig05 import run_fig5
+from repro.host.api import pack_args
+from repro.kernels.vecadd import VECADD
 from repro.workloads import olap
 from repro.workloads.base import make_platform, scale
 
 SMOKE_QUERY = "q6"
 SMOKE_SCALE = "small"
+
+#: Cluster smoke point: elements per vecadd array (2 MB — big enough to be
+#: bandwidth-bound, small enough for a CI run).
+CLUSTER_SMOKE_ELEMENTS = 1 << 18
 
 
 def bench_fig5() -> dict:
@@ -64,24 +75,70 @@ def bench_fig10a_point(query: str = SMOKE_QUERY,
     return out
 
 
+def bench_cluster_point(elements: int = CLUSTER_SMOKE_ELEMENTS) -> dict:
+    """2-device interleaved vecadd through ClusterRuntime vs 1 device."""
+    a = (np.arange(elements) * 3).astype(np.int64)
+    b = a[::-1].copy()
+    out: dict = {"elements": elements, "placement": "interleaved",
+                 "scheduler": "locality"}
+    for label, devices in (("x1", 1), ("x2", 2)):
+        plat = make_cluster_platform(num_devices=devices,
+                                     placement="interleaved",
+                                     backend="batched")
+        runtime = plat.runtime
+        addr_a = runtime.alloc_array(a)
+        addr_b = runtime.alloc_array(b)
+        addr_c = runtime.alloc(a.nbytes)
+        start = time.perf_counter()
+        instance = runtime.run_kernel(
+            VECADD, addr_a, addr_a + a.nbytes, args=pack_args(addr_b, addr_c)
+        )
+        wall = time.perf_counter() - start
+        correct = bool(np.array_equal(
+            runtime.read_array(addr_c, np.int64, elements), a + b
+        ))
+        out[label] = {
+            "devices": devices,
+            "runtime_ns": instance.runtime_ns,
+            "wall_seconds": wall,
+            "correct": correct,
+            "sub_launches": plat.stats.get("cluster.sub_launches"),
+            "switch_p2p_bytes": plat.stats.get("switch.p2p_bytes"),
+        }
+    out["cluster_speedup"] = out["x1"]["runtime_ns"] / out["x2"]["runtime_ns"]
+    return out
+
+
 def main(out_path: str = "BENCH_smoke.json") -> dict:
     payload = {
         "python": platform_mod.python_version(),
         "fig5": bench_fig5(),
         "fig10a_point": bench_fig10a_point(),
+        "cluster_point": bench_cluster_point(),
     }
     point = payload["fig10a_point"]
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    cluster = payload["cluster_point"]
     print(f"wrote {out_path}")
     print(f"  fig10a {point['query']}@{point['scale']}: "
           f"interpreter {point['interpreter']['wall_seconds']:.2f}s, "
           f"batched {point['batched']['wall_seconds']:.2f}s "
           f"({point['batched_wall_speedup']:.1f}x wall, "
           f"sim-time ratio {point['batched_runtime_ratio']:.2f})")
+    print(f"  cluster vecadd {cluster['elements']} elems: "
+          f"2-device speedup {cluster['cluster_speedup']:.2f}x "
+          f"({cluster['x2']['sub_launches']:.0f} sub-launches)")
     if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
         raise SystemExit("smoke benchmark produced incorrect results")
+    if not (cluster["x1"]["correct"] and cluster["x2"]["correct"]):
+        raise SystemExit("cluster smoke point produced incorrect results")
+    if cluster["cluster_speedup"] < 1.2:
+        raise SystemExit(
+            f"cluster smoke point lost its scale-out speedup "
+            f"({cluster['cluster_speedup']:.2f}x)"
+        )
     return payload
 
 

@@ -1,0 +1,381 @@
+"""Multi-tenant open-loop traffic driver for the M2NDP cluster.
+
+Frames CXL-NDP offload as a *request-serving* problem (the ROADMAP's
+"heavy traffic from millions of users"): many concurrent client streams —
+KVStore point lookups, OLAP column scans, batched VectorAdds — arrive
+open-loop at a target rate, each request becoming one logical cluster
+launch fanned out by the scheduler.  The driver reports the latency
+distribution (p50/p95/p99) per stream and in aggregate, plus achieved
+throughput, so scheduler/placement choices can be compared under load.
+
+Open-loop means arrivals do not wait for completions (Poisson
+interarrivals), so queueing shows up as latency — the methodology the
+paper uses for its KVStore P95 numbers (Fig 1b / Fig 10b).
+
+Usage::
+
+    platform = make_cluster_platform(num_devices=4)
+    driver = TrafficDriver(platform, [
+        StreamSpec("tenantA", "kvstore", rate_rps=2e6, requests=500),
+        StreamSpec("tenantB", "olap",    rate_rps=2e5, requests=50),
+        StreamSpec("tenantC", "vecadd",  rate_rps=5e5, requests=100),
+    ])
+    report = driver.run()
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.runtime import ClusterPlatform
+from repro.errors import ConfigError
+from repro.host.api import pack_args
+from repro.kernels.kvstore import KVS_GET
+from repro.kernels.olap import EVAL_RANGE_I32
+from repro.kernels.vecadd import VECADD
+from repro.sim.stats import Distribution
+from repro.workloads import kvstore
+from repro.workloads.base import rng
+
+
+def _stream_salt(name: str) -> int:
+    """Deterministic per-stream RNG salt (``hash()`` is process-randomized)."""
+    return zlib.crc32(name.encode()) % 8192
+
+#: Supported request kinds.
+STREAM_KINDS = ("vecadd", "olap", "kvstore")
+
+#: Host-side per-request compute (hashing, dispatch) before the offload.
+HOST_DISPATCH_NS = 150.0
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One tenant's open-loop request stream."""
+
+    name: str
+    kind: str                     # "vecadd" | "olap" | "kvstore"
+    rate_rps: float               # offered load, requests per second
+    requests: int
+    #: vecadd: elements per request; olap: rows scanned per request;
+    #: kvstore: items in this tenant's table.
+    size: int = 0
+    #: vecadd/olap: number of distinct working-set slices requests cycle
+    #: through.  A slice count whose total working set exceeds the cluster's
+    #: aggregate L2 keeps the stream bandwidth-bound (a single re-scanned
+    #: slice measures cache-hit latency instead).
+    slices: int = 8
+    placement: str | None = None  # override the cluster default
+
+    def __post_init__(self) -> None:
+        if self.kind not in STREAM_KINDS:
+            raise ConfigError(
+                f"unknown stream kind {self.kind!r}; "
+                f"choose from {list(STREAM_KINDS)}"
+            )
+        if self.rate_rps <= 0 or self.requests <= 0:
+            raise ConfigError("stream needs positive rate and request count")
+        if self.slices <= 0:
+            raise ConfigError("stream needs at least one working-set slice")
+
+    @property
+    def interarrival_ns(self) -> float:
+        return 1e9 / self.rate_rps
+
+    @property
+    def effective_size(self) -> int:
+        if self.size:
+            return self.size
+        return {"vecadd": 1 << 14, "olap": 1 << 15, "kvstore": 1 << 10}[self.kind]
+
+
+@dataclass
+class StreamReport:
+    """Latency/throughput summary of one stream."""
+
+    name: str
+    kind: str
+    offered_rps: float
+    latencies: Distribution = field(default_factory=Distribution)
+    correct: bool = True
+    first_arrival_ns: float = float("inf")
+    last_completion_ns: float = 0.0
+
+    @property
+    def span_ns(self) -> float:
+        return max(self.last_completion_ns - self.first_arrival_ns, 0.0)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.served / (self.span_ns * 1e-9) if self.span_ns > 0 else 0.0
+
+    @property
+    def served(self) -> int:
+        return self.latencies.count
+
+    @property
+    def p50_ns(self) -> float:
+        return self.latencies.percentile(50.0)
+
+    @property
+    def p95_ns(self) -> float:
+        return self.latencies.p95
+
+    @property
+    def p99_ns(self) -> float:
+        return self.latencies.p99
+
+    @property
+    def mean_ns(self) -> float:
+        return self.latencies.mean
+
+
+@dataclass
+class TrafficReport:
+    """Whole-run summary across all tenant streams."""
+
+    streams: list[StreamReport]
+    span_ns: float                # first arrival to last completion
+    aggregate: Distribution
+
+    @property
+    def served(self) -> int:
+        return self.aggregate.count
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.served / (self.span_ns * 1e-9) if self.span_ns > 0 else 0.0
+
+    @property
+    def p50_ns(self) -> float:
+        return self.aggregate.percentile(50.0)
+
+    @property
+    def p95_ns(self) -> float:
+        return self.aggregate.p95
+
+    @property
+    def p99_ns(self) -> float:
+        return self.aggregate.p99
+
+    @property
+    def correct(self) -> bool:
+        return all(s.correct for s in self.streams)
+
+    def render(self) -> str:
+        lines = [
+            f"{'stream':>10} | {'kind':>8} | {'served':>6} | "
+            f"{'rps':>12} | {'p50 ns':>10} | {'p95 ns':>10} | {'p99 ns':>10}"
+        ]
+        for s in self.streams:
+            lines.append(
+                f"{s.name:>10} | {s.kind:>8} | {s.served:>6} | "
+                f"{s.throughput_rps:>12,.0f} | "
+                f"{s.p50_ns:>10.0f} | {s.p95_ns:>10.0f} | {s.p99_ns:>10.0f}"
+            )
+        lines.append(
+            f"aggregate: {self.served} requests in {self.span_ns:.0f} ns "
+            f"({self.throughput_rps:,.0f} rps), "
+            f"p50 {self.p50_ns:.0f} / p95 {self.p95_ns:.0f} / "
+            f"p99 {self.p99_ns:.0f} ns"
+        )
+        return "\n".join(lines)
+
+
+class _Stream:
+    """Runtime state of one tenant: data in HDM plus request factories."""
+
+    def __init__(self, platform: ClusterPlatform, spec: StreamSpec,
+                 salt: int) -> None:
+        self.spec = spec
+        self.runtime = platform.runtime
+        self.report = StreamReport(name=spec.name, kind=spec.kind,
+                                   offered_rps=spec.rate_rps)
+        self.salt = salt + _stream_salt(spec.name)
+        self.gen = rng(self.salt)
+        getattr(self, f"_setup_{spec.kind}")()
+
+    # -- per-kind data setup (functional, like single-device workloads) ----
+
+    def _setup_vecadd(self) -> None:
+        n = self.spec.effective_size
+        total = n * self.spec.slices
+        self.a = (np.arange(total, dtype=np.int64)
+                  * int(self.gen.integers(1, 9)))
+        self.b = self.a[::-1].copy()
+        kw = dict(placement=self.spec.placement) if self.spec.placement else {}
+        self.addr_a = self.runtime.alloc_array(self.a, **kw)
+        self.addr_b = self.runtime.alloc_array(self.b, **kw)
+        self.addr_c = self.runtime.alloc(self.a.nbytes, **kw)
+        self.kid = self.runtime.register_kernel(VECADD, name=f"{self.spec.name}.vecadd")
+        self._touched: set[int] = set()
+
+    def _setup_olap(self) -> None:
+        rows = self.spec.effective_size
+        total = rows * self.spec.slices
+        self.lo, self.hi = 100, 900
+        self.column = self.gen.integers(0, 1000, total).astype(np.int32)
+        kw = dict(placement=self.spec.placement) if self.spec.placement else {}
+        self.addr_col = self.runtime.alloc_array(self.column, **kw)
+        self.addr_mask = self.runtime.alloc(total, **kw)
+        self.kid = self.runtime.register_kernel(
+            EVAL_RANGE_I32, name=f"{self.spec.name}.scan"
+        )
+        self._touched = set()
+
+    def _setup_kvstore(self) -> None:
+        # KV tables are replicated by default: read-mostly data every
+        # expander should serve without a switch hop.
+        placement = self.spec.placement or "replicated"
+        # the workload module supplies the table population and the zipfian
+        # GET targets; arrivals come from the stream's open-loop rate
+        self.data = kvstore.generate(
+            self.spec.effective_size, self.spec.requests,
+            get_fraction=1.0, mix_name="GET", salt=self.salt,
+        )
+        self.table = kvstore.setup_table(self.runtime, self.data,
+                                         placement=placement)
+        # one 128 B result slot per request: slots are verified after the
+        # run, so recycling them would let later GETs overwrite checks
+        self.slots_addr = self.runtime.alloc(self.spec.requests * 128,
+                                             align=128, placement=placement)
+        self.kid = self.runtime.register_kernel(
+            KVS_GET, name=f"{self.spec.name}.get"
+        )
+        self._checks: list[tuple[int, int]] = []
+
+    # -- request issue ------------------------------------------------------
+
+    def issue(self, index: int, arrival_ns: float, record) -> None:
+        """Launch request ``index``; ``record(latency_ns)`` on completion."""
+        spec = self.spec
+
+        self.report.first_arrival_ns = min(self.report.first_arrival_ns,
+                                           arrival_ns)
+
+        def done(handle) -> None:
+            latency = handle.complete_ns - arrival_ns
+            self.report.latencies.add(latency)
+            self.report.last_completion_ns = max(
+                self.report.last_completion_ns, handle.complete_ns
+            )
+            record(latency, handle.complete_ns)
+
+        if spec.kind == "vecadd":
+            s = index % spec.slices
+            self._touched.add(s)
+            off = s * spec.effective_size * 8
+            base = self.addr_a + off
+            bound = base + spec.effective_size * 8
+            args = pack_args(self.addr_b + off, self.addr_c + off)
+            self.runtime.launch_async(self.kid, base, bound, args=args,
+                                      at_ns=arrival_ns, on_complete=done)
+        elif spec.kind == "olap":
+            s = index % spec.slices
+            self._touched.add(s)
+            rows = spec.effective_size
+            base = self.addr_col + s * rows * 4
+            bound = base + rows * 4
+            args = pack_args(self.addr_mask + s * rows, self.lo, self.hi)
+            self.runtime.launch_async(self.kid, base, bound, args=args,
+                                      at_ns=arrival_ns, on_complete=done)
+        else:
+            req = self.data.requests[index]
+            bucket_ptr = self.table.buckets_addr + 8 * kvstore.hash_key(
+                *req.key, self.data.buckets
+            )
+            slot = self.slots_addr + index * 128
+            self._checks.append((slot, req.value_seed))
+            args = pack_args(bucket_ptr, *req.key)
+            self.runtime.launch_async(self.kid, slot, slot + 32, args=args,
+                                      at_ns=arrival_ns, on_complete=done)
+
+    # -- post-run verification ---------------------------------------------
+
+    def verify(self) -> None:
+        physical = self.runtime.physical
+        if self.spec.kind == "vecadd":
+            n = self.spec.effective_size
+            produced = self.runtime.read_array(self.addr_c, np.int64,
+                                               len(self.a))
+            expected = self.a + self.b
+            self.report.correct = all(
+                np.array_equal(produced[s * n:(s + 1) * n],
+                               expected[s * n:(s + 1) * n])
+                for s in self._touched
+            )
+        elif self.spec.kind == "olap":
+            rows = self.spec.effective_size
+            produced = self.runtime.read_array(
+                self.addr_mask, np.uint8, len(self.column)
+            ).astype(bool)
+            expected = (self.column >= self.lo) & (self.column < self.hi)
+            self.report.correct = all(
+                np.array_equal(produced[s * rows:(s + 1) * rows],
+                               expected[s * rows:(s + 1) * rows])
+                for s in self._touched
+            )
+        else:
+            ok = True
+            for slot, item in self._checks:
+                status = physical.read_u64(slot + 64)
+                value = physical.read_u64(slot)
+                if status != 1 or value != item:
+                    ok = False
+                    break
+            self.report.correct = ok
+
+
+class TrafficDriver:
+    """Replays concurrent open-loop tenant streams against a cluster."""
+
+    def __init__(self, platform: ClusterPlatform,
+                 specs: list[StreamSpec], salt: int = 0) -> None:
+        if not specs:
+            raise ConfigError("traffic driver needs at least one stream")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate stream names: {names}")
+        self.platform = platform
+        self.sim = platform.sim
+        self.streams = [_Stream(platform, spec, salt) for spec in specs]
+
+    def run(self) -> TrafficReport:
+        """Schedule every arrival, drain the simulator, summarize."""
+        aggregate = Distribution()
+        first_arrival = float("inf")
+        last_completion = 0.0
+
+        def record(latency_ns: float, when_ns: float) -> None:
+            nonlocal last_completion
+            aggregate.add(latency_ns)
+            last_completion = max(last_completion, when_ns)
+
+        epoch = self.sim.now   # setup (registration) happened before this
+        for stream in self.streams:
+            spec = stream.spec
+            gen = rng(0xD21 + _stream_salt(spec.name))
+            arrivals = epoch + np.cumsum(
+                gen.exponential(spec.interarrival_ns, spec.requests)
+            )
+            first_arrival = min(first_arrival, float(arrivals[0]))
+            for index, arrival in enumerate(arrivals):
+                arrival = float(arrival) + HOST_DISPATCH_NS
+                self.sim.schedule_at(
+                    float(arrivals[index]),
+                    (lambda s=stream, i=index, a=arrival:
+                     s.issue(i, a, record)),
+                )
+        self.sim.run()
+        for stream in self.streams:
+            stream.verify()
+        span = max(last_completion - first_arrival, 0.0)
+        return TrafficReport(
+            streams=[s.report for s in self.streams],
+            span_ns=span,
+            aggregate=aggregate,
+        )

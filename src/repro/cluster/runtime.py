@@ -1,0 +1,521 @@
+"""ClusterRuntime: N CXL-M2NDP expanders behind one switch, one API.
+
+Mirrors the single-device :class:`~repro.host.api.M2NDPRuntime` surface
+(``alloc`` / ``alloc_array`` / ``register_kernel`` / ``launch_kernel`` /
+``launch_async`` / ``run_kernel`` / ``wait_all``) so existing workloads run
+unmodified on 1..N devices.  The moving parts:
+
+* Every device shares **one functional byte store** (the cluster's logical
+  address space — allocations are made in lockstep on all devices, so an
+  address means the same thing everywhere) while keeping its **own timing
+  models**: DRAM banks, memory-side L2, CXL link, NDP units and execution
+  backend.  Sharding is therefore a *timing* concern, which is exactly what
+  the paper's §III-I software partitioning is.
+* A :class:`~repro.cluster.placement.ClusterAllocator` records each
+  allocation's :class:`~repro.cluster.placement.ShardMap`.
+* A :class:`~repro.cluster.scheduler.LaunchScheduler` splits each logical
+  launch into per-device sub-launches (using the launch ABI's offset-bias
+  extension so µthread ``x2`` offsets stay pool-relative), and the runtime
+  charges :meth:`CXLSwitch.peer_to_peer` for bytes a sub-launch must pull
+  from a remote shard plus :meth:`CXLSwitch.host_to_device` for the M2func
+  fan-out itself.
+* Completion is aggregated: a :class:`ClusterLaunchHandle` finishes when
+  the slowest sub-launch does.
+
+Selection precedence for the execution backend and scheduler policy
+mirrors ``make_platform``: explicit argument > environment variable
+(``REPRO_EXEC_BACKEND`` / ``REPRO_CLUSTER_SCHEDULER``, validated at
+construction) > config default.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.placement import ClusterAllocator, ShardMap
+from repro.cluster.scheduler import (
+    LaunchScheduler,
+    SubLaunch,
+    validate_scheduler_name,
+)
+from repro.config import ClusterConfig, SystemConfig, default_system
+from repro.cxl.switch import CXLSwitch
+from repro.errors import ConfigError, LaunchError, SimulationError
+from repro.exec.base import validate_backend_name
+from repro.host.api import LaunchHandle, M2NDPRuntime
+from repro.isa.assembler import KernelProgram, assemble_kernel
+from repro.mem.physical import PhysicalMemory
+from repro.ndp.device import M2NDPDevice
+from repro.ndp.kernel import KernelInstance
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+#: Cluster runtimes use ASIDs from this base, one per device, so each
+#: device's M2func region (base + asid * 64 KB) is distinct in the shared
+#: functional store — concurrent sub-launch return values cannot collide.
+CLUSTER_BASE_ASID = 0x10
+
+#: M2func launch payload: 6-word header + bias word + argument bytes; used
+#: to charge the fan-out write through the switch's host path.
+LAUNCH_WIRE_BYTES = 56
+
+
+def resolve_scheduler_policy(explicit: str | None,
+                             config_default: str) -> str:
+    """Explicit argument > REPRO_CLUSTER_SCHEDULER env > config default."""
+    if explicit is not None:
+        return validate_scheduler_name(explicit, source="scheduler argument")
+    env = os.environ.get("REPRO_CLUSTER_SCHEDULER")
+    if env is not None:
+        return validate_scheduler_name(
+            env, source="REPRO_CLUSTER_SCHEDULER environment variable"
+        )
+    return config_default
+
+
+@dataclass
+class ClusterLaunchHandle:
+    """Aggregated completion of one logical launch's sub-launches."""
+
+    plan: list[SubLaunch]
+    subs: list[LaunchHandle] = field(default_factory=list)
+    complete_ns: float | None = None
+    issued_ns: float = 0.0
+    error: int | None = None
+    _pending: int = 0
+    _callbacks: list[Callable[["ClusterLaunchHandle"], None]] = field(
+        default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.complete_ns is not None
+
+    @property
+    def num_sublaunches(self) -> int:
+        return len(self.plan)
+
+    def on_complete(self, callback) -> None:
+        if self.finished:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _sub_finished(self, when_ns: float) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self.complete_ns = max(
+                (h.complete_ns or when_ns) for h in self.subs
+                if h is not None
+            )
+            for callback in self._callbacks:
+                callback(self)
+            self._callbacks.clear()
+
+
+@dataclass
+class ClusterInstance:
+    """Aggregate of one logical launch's per-device kernel instances.
+
+    Presents the :class:`~repro.ndp.kernel.KernelInstance` accessors the
+    workloads read (``runtime_ns`` as the cluster-wide makespan), so
+    ``run_kernel`` callers work unchanged.
+    """
+
+    handle: ClusterLaunchHandle
+    instances: list[KernelInstance]
+
+    @property
+    def start_ns(self) -> float:
+        return min(i.start_ns for i in self.instances
+                   if i.start_ns is not None)
+
+    @property
+    def complete_ns(self) -> float:
+        return max(i.complete_ns for i in self.instances
+                   if i.complete_ns is not None)
+
+    @property
+    def runtime_ns(self) -> float:
+        """Makespan: first sub-launch start to last sub-launch completion."""
+        return self.complete_ns - self.start_ns
+
+    @property
+    def instructions(self) -> int:
+        return sum(i.instructions for i in self.instances)
+
+    @property
+    def uthreads_total(self) -> int:
+        return sum(i.uthreads_total for i in self.instances)
+
+
+class _AggregateStats:
+    """Read-only summing view over the cluster's stats registries."""
+
+    def __init__(self, registries: list[StatsRegistry]) -> None:
+        self._registries = registries
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        found = False
+        total = 0.0
+        for reg in self._registries:
+            if name in reg._counters:
+                found = True
+                total += reg._counters[name]
+        return total if found else default
+
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        merged: dict[str, float] = {}
+        for reg in self._registries:
+            for key, value in reg.counters(prefix).items():
+                merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+
+class ClusterRuntime:
+    """Per-process handle to a multi-expander M2NDP cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        system: SystemConfig | None = None,
+        cluster: ClusterConfig | None = None,
+        backend: str | None = None,
+        scheduler: str | None = None,
+        base_asid: int = CLUSTER_BASE_ASID,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.system = system if system is not None else default_system()
+        self.cluster_config = cluster if cluster is not None else ClusterConfig()
+        if backend is None:
+            backend = os.environ.get("REPRO_EXEC_BACKEND")
+            if backend is not None:
+                validate_backend_name(
+                    backend, source="REPRO_EXEC_BACKEND environment variable"
+                )
+        policy = resolve_scheduler_policy(
+            scheduler, self.cluster_config.scheduler
+        )
+        n = self.cluster_config.num_devices
+
+        self.stats = StatsRegistry()      # switch + cluster-level counters
+        self.switch = CXLSwitch(num_downstream=n, config=self.system.cxl,
+                                stats=self.stats)
+        self.physical = PhysicalMemory(self.system.cxl_dram.capacity_bytes)
+        self.devices = [
+            M2NDPDevice(self.sim, self.system, backend=backend,
+                        physical=self.physical)
+            for _ in range(n)
+        ]
+        self.runtimes = [
+            M2NDPRuntime(device, asid=base_asid + i)
+            for i, device in enumerate(self.devices)
+        ]
+        self.allocator = ClusterAllocator(
+            device_allocators=[rt.allocator for rt in self.runtimes],
+            num_devices=n,
+            default_placement=self.cluster_config.placement,
+            default_shard_bytes=self.cluster_config.shard_bytes,
+        )
+        self.scheduler = LaunchScheduler(policy, n)
+        self._kernels: dict[int, list[int]] = {}
+        self._serialize_per_device: dict[int, bool] = {}
+        self.now = 0.0
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def device(self) -> M2NDPDevice:
+        """Primary device — setup helpers written against a single-device
+        runtime (``runtime.device.physical``) keep working because the
+        functional store is shared cluster-wide."""
+        return self.devices[0]
+
+    # ------------------------------------------------------------------
+    # memory (lockstep allocation + shared functional store)
+    # ------------------------------------------------------------------
+
+    def alloc(self, size: int, align: int = 4096,
+              placement: str | None = None,
+              shard_bytes: int | None = None) -> int:
+        return self.allocator.alloc(size, align, placement, shard_bytes).base
+
+    def alloc_array(self, array: np.ndarray, align: int = 4096,
+                    placement: str | None = None,
+                    shard_bytes: int | None = None) -> int:
+        addr = self.alloc(array.nbytes, align, placement, shard_bytes)
+        self.physical.store_array(addr, array)
+        return addr
+
+    def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
+        return self.physical.load_array(addr, dtype, count)
+
+    def shard_map(self, addr: int) -> ShardMap | None:
+        return self.allocator.map_for(addr)
+
+    # ------------------------------------------------------------------
+    # kernel lifecycle (fanned out to every device)
+    # ------------------------------------------------------------------
+
+    def register_kernel(self, kernel: KernelProgram | str,
+                        scratchpad_bytes: int = 0,
+                        name: str = "kernel") -> int:
+        if isinstance(kernel, str):
+            kernel = assemble_kernel(kernel, name=name)
+        kids = []
+        for rt in self.runtimes:
+            # Blocking M2func calls on earlier devices stepped the shared
+            # simulator; later devices issue from the advanced clock.
+            rt.now = max(rt.now, self.sim.now)
+            kids.append(rt.register_kernel(kernel, scratchpad_bytes, name=name))
+        self._kernels[kids[0]] = kids
+        # Kernels with initializer/finalizer phases (or multiple bodies)
+        # keep state in the per-unit scratchpad across the launch; two
+        # instances of them must not overlap on one device, so their
+        # sub-launches are chained per device.  Body-only kernels read only
+        # the argument block and run concurrently.
+        self._serialize_per_device[kids[0]] = (
+            kernel.initializer is not None
+            or kernel.finalizer is not None
+            or len(kernel.bodies) > 1
+        )
+        self._sync_now()
+        return kids[0]
+
+    def unregister_kernel(self, kernel_id: int) -> None:
+        for rt, kid in zip(self.runtimes, self._device_kids(kernel_id)):
+            rt.now = max(rt.now, self.sim.now)
+            rt.unregister_kernel(kid)
+        del self._kernels[kernel_id]
+        self._sync_now()
+
+    def _device_kids(self, kernel_id: int) -> list[int]:
+        kids = self._kernels.get(kernel_id)
+        if kids is None:
+            raise LaunchError(f"unknown cluster kernel id {kernel_id}")
+        return kids
+
+    # ------------------------------------------------------------------
+    # launching (scheduler fan-out + P2P charging)
+    # ------------------------------------------------------------------
+
+    def launch_async(self, kernel_id: int, pool_base: int, pool_bound: int,
+                     args: bytes = b"", sync: bool = False, stride: int = 32,
+                     at_ns: float | None = None,
+                     on_complete: Callable[[ClusterLaunchHandle], None] | None = None,
+                     ) -> ClusterLaunchHandle:
+        """Split one logical launch across the cluster (non-blocking).
+
+        ``sync`` is accepted for API parity but sub-launches always use the
+        asynchronous M2func form; completion is aggregated host-side.
+        """
+        kids = self._device_kids(kernel_id)
+        shard = self.allocator.map_for(pool_base)
+        plan = self.scheduler.plan(shard, pool_base, pool_bound, stride)
+        start = at_ns if at_ns is not None else max(self.now, self.sim.now)
+        handle = ClusterLaunchHandle(plan=plan, issued_ns=start,
+                                     _pending=len(plan))
+        if on_complete is not None:
+            handle.on_complete(on_complete)
+        # Sub-launches of *stateful* kernels (initializer/finalizer
+        # scratchpad phases, e.g. accumulating reductions) are chained per
+        # device: they are not safe to run concurrently with themselves on
+        # one device, and the scheduler must not create that concurrency
+        # behind the app's back.  Stateless body-only kernels issue all
+        # their sub-launches at once; different devices always run in
+        # parallel.
+        handle.subs = [None] * len(plan)
+        order = {id(sub): i for i, sub in enumerate(plan)}
+        if self._serialize_per_device.get(kernel_id, True):
+            queues: dict[int, list[SubLaunch]] = {}
+            for sub in plan:
+                queues.setdefault(sub.device, []).append(sub)
+            for device_queue in queues.values():
+                self._issue_sub(handle, kids, device_queue, 0, args, stride,
+                                start, order)
+        else:
+            for sub in plan:
+                self._issue_sub(handle, kids, [sub], 0, args, stride,
+                                start, order)
+        return handle
+
+    def _issue_sub(self, handle: ClusterLaunchHandle, kids: list[int],
+                   queue: list[SubLaunch], index: int, args: bytes,
+                   stride: int, at_ns: float, order: dict[int, int]) -> None:
+        sub = queue[index]
+        ready = at_ns
+        for owner, nbytes in sorted(sub.remote.items()):
+            done = self.switch.peer_to_peer(at_ns, owner, sub.device, nbytes)
+            ready = max(ready, done)
+            self.stats.add("cluster.p2p_prefetch_bytes", nbytes)
+        # the M2func fan-out write itself crosses the switch
+        ready = self.switch.host_to_device(
+            ready, sub.device, LAUNCH_WIRE_BYTES + len(args)
+        )
+        self.scheduler.note_issued(sub.device)
+        self.stats.add("cluster.sub_launches")
+        sub_handle = self.runtimes[sub.device].launch_async(
+            kids[sub.device], sub.base, sub.bound, args=args,
+            sync=False, stride=stride, at_ns=ready,
+            offset_bias=sub.offset_bias,
+            on_complete=self._make_sub_done(handle, kids, queue, index, args,
+                                            stride, order),
+        )
+        sub_handle.call.on_done(self._make_error_check(handle, sub))
+        handle.subs[order[id(sub)]] = sub_handle
+
+    def _make_sub_done(self, handle: ClusterLaunchHandle, kids: list[int],
+                       queue: list[SubLaunch], index: int, args: bytes,
+                       stride: int, order: dict[int, int]):
+        def sub_done(sub_handle: LaunchHandle) -> None:
+            sub = queue[index]
+            self.scheduler.note_complete(sub.device)
+            when = sub_handle.complete_ns or self.sim.now
+            if index + 1 < len(queue):
+                self._issue_sub(handle, kids, queue, index + 1, args,
+                                stride, when, order)
+            handle._sub_finished(when)
+        return sub_done
+
+    def _make_error_check(self, handle: ClusterLaunchHandle, sub: SubLaunch):
+        def check(call) -> None:
+            if call.value is not None and call.value < 0:
+                handle.error = call.value
+                self.scheduler.note_complete(sub.device)
+                handle._sub_finished(call.done_ns or self.sim.now)
+        return check
+
+    def launch_kernel(self, kernel_id: int, pool_base: int, pool_bound: int,
+                      args: bytes = b"", sync: bool = True,
+                      stride: int = 32) -> ClusterLaunchHandle:
+        """Blocking form: steps the shared simulator until every sub-launch
+        completes (``sync=False`` returns once all instance IDs resolve)."""
+        handle = self.launch_async(kernel_id, pool_base, pool_bound, args,
+                                   stride=stride)
+        failed = lambda: handle.error is not None      # noqa: E731
+        if sync:
+            self._step_until(lambda: handle.finished or failed(),
+                             "cluster launch never completed")
+        else:
+            self._step_until(
+                lambda: failed() or all(
+                    h.call.done for h in handle.subs if h is not None
+                ),
+                "cluster launch was never acknowledged",
+            )
+        if handle.error is not None:
+            raise LaunchError(
+                f"cluster sub-launch failed with {handle.error}", handle.error
+            )
+        return handle
+
+    def run_kernel(self, source: str | KernelProgram, pool_base: int,
+                   pool_bound: int, args: bytes = b"",
+                   scratchpad_bytes: int = 0, stride: int = 32,
+                   name: str = "kernel") -> ClusterInstance:
+        """Register + launch synchronously; returns the aggregate instance."""
+        kid = self.register_kernel(source, scratchpad_bytes, name=name)
+        handle = self.launch_kernel(kid, pool_base, pool_bound, args,
+                                    sync=True, stride=stride)
+        return self.instances_of(handle)
+
+    def instances_of(self, handle: ClusterLaunchHandle) -> ClusterInstance:
+        """Resolve a finished handle's per-device kernel instances."""
+        instances = []
+        for sub, sub_handle in zip(handle.plan, handle.subs):
+            if (sub_handle is None or sub_handle.instance_id is None
+                    or sub_handle.instance_id < 0):
+                continue
+            controller = self.devices[sub.device].controller
+            instances.append(controller.instances[sub_handle.instance_id])
+        if not instances:
+            raise LaunchError("cluster launch produced no kernel instances")
+        return ClusterInstance(handle=handle, instances=instances)
+
+    # ------------------------------------------------------------------
+
+    def wait_all(self) -> float:
+        """Drain the shared simulator (finish all outstanding work)."""
+        self.sim.run()
+        self._sync_now()
+        return self.now
+
+    def aggregate_stats(self) -> _AggregateStats:
+        """Summing view over all device registries plus the cluster's own
+        (switch bytes, sub-launch and P2P counters)."""
+        return _AggregateStats(
+            [device.stats for device in self.devices] + [self.stats]
+        )
+
+    def _sync_now(self) -> None:
+        self.now = max([self.sim.now] + [rt.now for rt in self.runtimes])
+
+    def _step_until(self, done: Callable[[], bool], what: str) -> None:
+        while not done():
+            if not self.sim.step():
+                raise SimulationError(f"{what} (deadlock?)")
+        self._sync_now()
+
+
+# ---------------------------------------------------------------------------
+# platform bundle mirroring repro.workloads.base.make_platform
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClusterPlatform:
+    """Drop-in for :class:`~repro.workloads.base.Platform` over a cluster:
+    workloads taking ``platform.runtime`` / ``platform.stats`` run as-is."""
+
+    sim: Simulator
+    runtime: ClusterRuntime
+    system: SystemConfig
+
+    @property
+    def device(self) -> M2NDPDevice:
+        return self.runtime.device
+
+    @property
+    def devices(self) -> list[M2NDPDevice]:
+        return self.runtime.devices
+
+    @property
+    def switch(self) -> CXLSwitch:
+        return self.runtime.switch
+
+    @property
+    def stats(self) -> _AggregateStats:
+        return self.runtime.aggregate_stats()
+
+
+def make_cluster_platform(num_devices: int = 2,
+                          system: SystemConfig | None = None,
+                          cluster: ClusterConfig | None = None,
+                          placement: str | None = None,
+                          scheduler: str | None = None,
+                          shard_bytes: int | None = None,
+                          backend: str | None = None) -> ClusterPlatform:
+    """Build a fresh simulator + N-expander cluster bundle.
+
+    Keyword conveniences (``placement`` / ``scheduler`` / ``shard_bytes``)
+    override the corresponding :class:`ClusterConfig` fields; a full
+    ``cluster`` config wins over ``num_devices``.
+    """
+    if cluster is None:
+        cluster = ClusterConfig(
+            num_devices=num_devices,
+            placement=placement if placement is not None else "interleaved",
+            shard_bytes=shard_bytes if shard_bytes is not None else 0,
+        )
+    elif placement is not None or shard_bytes is not None:
+        raise ConfigError(
+            "pass either a full ClusterConfig or per-field overrides, not both"
+        )
+    runtime = ClusterRuntime(system=system, cluster=cluster,
+                             backend=backend, scheduler=scheduler)
+    return ClusterPlatform(sim=runtime.sim, runtime=runtime,
+                           system=runtime.system)

@@ -283,6 +283,44 @@ class NDPConfig:
 
 
 # ---------------------------------------------------------------------------
+# Multi-expander cluster (§III-I / Fig 12b, see repro.cluster)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """N CXL-M2NDP expanders behind one switch, software-partitioned.
+
+    ``placement`` is the default data placement for cluster allocations
+    (per-allocation overrides allowed); ``shard_bytes`` the interleave /
+    block granularity (0 = auto-sized per allocation); ``scheduler`` the
+    fan-out policy splitting logical launches into per-device sub-launches.
+    """
+
+    num_devices: int = 2
+    placement: str = "interleaved"
+    shard_bytes: int = 0
+    scheduler: str = "locality"
+
+    def __post_init__(self) -> None:
+        # Lazy imports: placement/scheduler live above config in the
+        # package graph only at runtime (they import repro.errors alone).
+        from repro.cluster.placement import PLACEMENTS
+        from repro.cluster.scheduler import validate_scheduler_name
+
+        if self.num_devices <= 0:
+            raise ConfigError("cluster needs at least one device")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {list(PLACEMENTS)}"
+            )
+        validate_scheduler_name(self.scheduler,
+                                source="ClusterConfig.scheduler")
+        if self.shard_bytes < 0:
+            raise ConfigError("shard_bytes must be >= 0 (0 = auto)")
+
+
+# ---------------------------------------------------------------------------
 # Host GPU
 # ---------------------------------------------------------------------------
 

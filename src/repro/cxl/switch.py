@@ -95,3 +95,6 @@ class CXLSwitch:
         self.upstream.reset()
         for port in self.downstream:
             port.reset()
+        # Byte counters restart with the bandwidth servers: a reused switch
+        # must not carry a previous run's traffic into the next one.
+        self.stats.clear_prefix(f"{self.prefix}.")

@@ -428,7 +428,7 @@ class _BatchReplay:
         stride = np.int64(instance.uthread_stride)
         self.xr: list[np.ndarray] = [_ZERO_X] * 32
         self.xr[1] = np.int64(instance.pool_base) + idx * stride
-        self.xr[2] = idx * stride
+        self.xr[2] = np.int64(instance.offset_bias) + idx * stride
         self.xr[3] = np.asarray(execution.args_vaddr, dtype=np.int64)
         self.fr: list[np.ndarray] = [_ZERO_F] * 32
         self.vr: list[np.ndarray | None] = [None] * 32

@@ -23,6 +23,7 @@ from repro.experiments.fig13 import (
 )
 from repro.experiments.fig14 import run_fig14a, run_fig14b
 from repro.experiments.fig15 import run_fig15_gpu, run_fig15_olap
+from repro.experiments.scaling import run_policy_matrix, run_scaling
 
 EXPERIMENTS = {
     "fig1a": run_fig1a,
@@ -45,6 +46,8 @@ EXPERIMENTS = {
     "fig15-olap": run_fig15_olap,
     "fig15-gpu": run_fig15_gpu,
     "instr-savings": static_instruction_savings,
+    "scaling": run_scaling,
+    "scaling-policies": run_policy_matrix,
 }
 
 __all__ = [

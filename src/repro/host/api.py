@@ -24,6 +24,7 @@ the DRAM-TLB as the paper's methodology assumes.
 from __future__ import annotations
 
 import struct
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,11 +34,15 @@ from repro.errors import LaunchError, SimulationError
 from repro.isa.assembler import KernelProgram, assemble_kernel
 from repro.ndp.controller import (
     FUNC_LAUNCH,
+    FUNC_LAUNCH_SLOT_BASE,
+    FUNC_LAUNCH_SLOTS,
     FUNC_POLL,
     FUNC_REGISTER,
     FUNC_SHOOTDOWN,
     FUNC_STRIDE_SHIFT,
     FUNC_UNREGISTER,
+    LAUNCH_FLAG_OFFSET_BIAS,
+    LAUNCH_FLAG_SYNC,
 )
 from repro.ndp.device import M2NDPDevice
 from repro.ndp.kernel import KernelStatus
@@ -145,6 +150,10 @@ class M2NDPRuntime:
         self.allocator = HDMAllocator(device, asid)
         self.now = 0.0
         self._next_code_loc = 0x0100_0000 + asid * 0x0010_0000
+        # Launch doorbell slots: each in-flight launch call needs its own
+        # M2func address or concurrent calls clobber each other's return
+        # values (see FUNC_LAUNCH_SLOT_BASE in repro.ndp.controller).
+        self._free_launch_slots = deque(range(FUNC_LAUNCH_SLOTS))
 
     # ------------------------------------------------------------------
     # memory helpers (functional setup of workload data in HDM)
@@ -175,11 +184,17 @@ class M2NDPRuntime:
         return self.filter_entry.base + (func << FUNC_STRIDE_SHIFT)
 
     def call_async(self, func: int, payload: bytes,
-                   at_ns: float | None = None) -> M2Call:
+                   at_ns: float | None = None,
+                   func_index: int | None = None) -> M2Call:
         """Issue write → fence → read; the returned future resolves with the
-        function's return value at host-observed time."""
+        function's return value at host-observed time.
+
+        ``func_index`` overrides the region offset the call targets while
+        ``func`` stays the logical function — used by the launch doorbell
+        slots, which alias ndpLaunchKernel at distinct addresses.
+        """
         start = self.now if at_ns is None else at_ns
-        addr = self.func_addr(func)
+        addr = self.func_addr(func if func_index is None else func_index)
         call = M2Call(func=func, issued_ns=start)
 
         ack_time = self.device.host_write(
@@ -266,11 +281,29 @@ class M2NDPRuntime:
                      args: bytes = b"", sync: bool = False, stride: int = 32,
                      at_ns: float | None = None,
                      on_complete: Callable[[LaunchHandle], None] | None = None,
-                     ) -> LaunchHandle:
-        """ndpLaunchKernel (non-blocking): callbacks fire from sim events."""
-        payload = pack_args(int(sync), kernel_id, pool_base, pool_bound,
-                            stride, len(args)) + args
-        call = self.call_async(FUNC_LAUNCH, payload, at_ns=at_ns)
+                     offset_bias: int = 0) -> LaunchHandle:
+        """ndpLaunchKernel (non-blocking): callbacks fire from sim events.
+
+        ``offset_bias`` (cluster extension, see :mod:`repro.cluster`) shifts
+        every body µthread's ``x2`` so a sub-launch over a slice of a larger
+        logical pool computes the same offsets a whole-pool launch would.
+        When zero the payload is byte-identical to the plain Table II call.
+        """
+        flags = LAUNCH_FLAG_SYNC if sync else 0
+        header = [flags, kernel_id, pool_base, pool_bound, stride, len(args)]
+        if offset_bias:
+            header[0] |= LAUNCH_FLAG_OFFSET_BIAS
+            header.append(offset_bias)
+        payload = pack_args(*header) + args
+        if not self._free_launch_slots:
+            raise SimulationError(
+                f"all {FUNC_LAUNCH_SLOTS} launch doorbell slots in flight; "
+                "throttle concurrent launch_async calls"
+            )
+        slot = self._free_launch_slots.popleft()
+        call = self.call_async(FUNC_LAUNCH, payload, at_ns=at_ns,
+                               func_index=FUNC_LAUNCH_SLOT_BASE + slot)
+        call.on_done(lambda _c: self._free_launch_slots.append(slot))
         handle = LaunchHandle(call=call)
 
         def on_value(resolved: M2Call) -> None:

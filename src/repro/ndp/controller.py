@@ -42,6 +42,30 @@ FUNC_LAUNCH = 2
 FUNC_POLL = 3
 FUNC_SHOOTDOWN = 4
 
+#: Launch doorbell slots: offsets [8, 8+64) alias ndpLaunchKernel.  The
+#: M2func return value is stored *at the call address*, so a process with
+#: many launches in flight (open-loop serving, cluster fan-out) must issue
+#: them at distinct addresses or concurrent calls clobber each other's
+#: return values before the paired read arrives.  A 64-entry doorbell
+#: array inside the 64 KB region gives every in-flight launch its own
+#: address; register/poll/etc. stay blocking and keep their Table II slots.
+FUNC_LAUNCH_SLOT_BASE = 8
+FUNC_LAUNCH_SLOTS = 64
+
+
+def decode_func(offset: int) -> int:
+    """Map an M2func region offset to its logical function."""
+    func = offset >> FUNC_STRIDE_SHIFT
+    if FUNC_LAUNCH_SLOT_BASE <= func < FUNC_LAUNCH_SLOT_BASE + FUNC_LAUNCH_SLOTS:
+        return FUNC_LAUNCH
+    return func
+
+#: ndpLaunchKernel first-word flags.  The paper's API carries only ``sync``;
+#: the offset-bias bit is this repo's multi-expander extension (§III-I
+#: software partitioning turned into a protocol field, see repro.cluster).
+LAUNCH_FLAG_SYNC = 1 << 0
+LAUNCH_FLAG_OFFSET_BIAS = 1 << 1
+
 #: Error codes (Table II: ERR is a negative value).
 ERR_GENERIC = -1
 ERR_UNKNOWN_KERNEL = -2
@@ -105,8 +129,7 @@ class NDPController:
                      now_ns: float) -> float:
         """Process an M2func call; returns the controller-done timestamp."""
         done = now_ns + CONTROLLER_LATENCY_NS
-        offset = addr - entry.base
-        func = offset >> FUNC_STRIDE_SHIFT
+        func = decode_func(addr - entry.base)
         if func == FUNC_REGISTER:
             result = self._register(data)
         elif func == FUNC_UNREGISTER:
@@ -128,17 +151,18 @@ class NDPController:
     def handle_read(self, entry: FilterEntry, addr: int, size: int,
                     now_ns: float) -> ReadResponse:
         """Serve a read in the M2func region (fetch a return value)."""
-        offset = addr - entry.base
-        func = offset >> FUNC_STRIDE_SHIFT
+        func = decode_func(addr - entry.base)
         data = self.device.physical.read_bytes(addr, size)
-        if func == FUNC_LAUNCH:
-            state = self._process_state.get(entry.asid)
-            if state is not None and state.last_launched is not None:
-                instance = self.instances.get(state.last_launched)
-                if (instance is not None and instance.synchronous
-                        and instance.status is not KernelStatus.FINISHED):
-                    return ReadResponse(data=data, ready_ns=None,
-                                        waiting_instance=instance.instance_id)
+        if func == FUNC_LAUNCH and len(data) >= 8:
+            # The bytes at the call address hold the launched instance's ID
+            # (stored by handle_write); a *synchronous* launch defers this
+            # read's response until that instance finishes (§III-B).
+            (instance_id,) = struct.unpack_from("<q", data)
+            instance = self.instances.get(instance_id)
+            if (instance is not None and instance.synchronous
+                    and instance.status is not KernelStatus.FINISHED):
+                return ReadResponse(data=data, ready_ns=None,
+                                    waiting_instance=instance.instance_id)
         return ReadResponse(data=data, ready_ns=now_ns + CONTROLLER_LATENCY_NS)
 
     def add_completion_waiter(self, instance_id: int,
@@ -191,13 +215,24 @@ class NDPController:
 
     def _launch(self, asid: int, data: bytes, now_ns: float) -> int:
         try:
-            sync, kernel_id, base, bound, stride, arg_bytes = _read_u64s(data, 6)
+            flags, kernel_id, base, bound, stride, arg_bytes = _read_u64s(data, 6)
         except ProtocolError:
             return ERR_BAD_ARGS
+        # Bit 0 of the first word is the Table II ``sync`` flag.  Bit 1 is
+        # the cluster sub-launch extension: one extra u64 (the µthread
+        # offset bias) follows the 6-word header before the argument bytes.
+        offset_bias = 0
+        args_at = 48
+        if flags & LAUNCH_FLAG_OFFSET_BIAS:
+            try:
+                (offset_bias,) = _read_u64s(data[48:], 1)
+            except ProtocolError:
+                return ERR_BAD_ARGS
+            args_at = 56
         kernel = self.kernels.get(kernel_id)
         if kernel is None:
             return ERR_UNKNOWN_KERNEL
-        args = data[48:48 + arg_bytes]
+        args = data[args_at:args_at + arg_bytes]
         if len(args) < arg_bytes:
             return ERR_BAD_ARGS
         if len(self.queue) >= self.queue_capacity:
@@ -208,9 +243,10 @@ class NDPController:
             pool_base=base,
             pool_bound=bound,
             args=args,
-            synchronous=bool(sync),
+            synchronous=bool(flags & LAUNCH_FLAG_SYNC),
             asid=asid,
             uthread_stride=stride or 32,
+            offset_bias=offset_bias,
             launch_ns=now_ns,
         )
         self._next_instance_id += 1

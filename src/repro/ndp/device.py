@@ -52,12 +52,18 @@ class M2NDPDevice:
         dirty_fraction: float = 0.0,
         queue_capacity: int = 4096,
         backend: str | None = None,
+        physical: PhysicalMemory | None = None,
     ) -> None:
         self.sim = sim
         self.config = config if config is not None else SystemConfig()
         self.stats = stats if stats is not None else StatsRegistry()
 
-        self.physical = PhysicalMemory(self.config.cxl_dram.capacity_bytes)
+        # ``physical`` may be shared between devices: a multi-expander
+        # cluster keeps one functional byte store for the whole logical
+        # address space while every device retains its own *timing* models
+        # (DRAM banks, L2, link) — see repro.cluster.runtime.
+        self.physical = (physical if physical is not None
+                         else PhysicalMemory(self.config.cxl_dram.capacity_bytes))
         self.dram = DRAMModel(self.config.cxl_dram, self.stats, "cxl_dram")
         self.l2 = SectorCache(self.config.l2, self.stats, "l2",
                               write_allocate=True, write_back=True)

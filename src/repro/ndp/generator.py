@@ -91,7 +91,7 @@ class _PhasePlan:
             global_index = ordinal * self._num_units + unit
             stride = self._instance.uthread_stride
             mapped = self._instance.pool_base + global_index * stride
-            offset = global_index * stride
+            offset = self._instance.offset_bias + global_index * stride
         else:
             mapped = unit               # x1 = NDP unit index
             offset = ordinal            # x2 = slot-local unique ID

@@ -87,6 +87,12 @@ class KernelInstance:
     synchronous: bool = False
     asid: int = 0
     uthread_stride: int = DEFAULT_UTHREAD_STRIDE
+    #: Added to every body µthread's ``x2`` offset.  A plain launch leaves
+    #: this at 0 (x2 is the offset from ``pool_base``); a cluster sub-launch
+    #: covering [pool_base, pool_bound) of a larger logical pool passes the
+    #: sub-range's offset within that pool so kernels indexing companion
+    #: arrays with x2 (e.g. VectorAdd's B/C) stay correct when split.
+    offset_bias: int = 0
     status: KernelStatus = KernelStatus.PENDING
     launch_ns: float = 0.0
     start_ns: float | None = None

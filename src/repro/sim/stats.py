@@ -123,6 +123,19 @@ class StatsRegistry:
         """Snapshot of all counters whose name starts with ``prefix``."""
         return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
 
+    def clear_prefix(self, prefix: str) -> None:
+        """Drop counters and distributions under ``prefix`` only.
+
+        Components embedded in a shared registry (e.g. a CXL switch inside
+        an experiment's registry) use this from their ``reset()`` so
+        repeated runs don't accumulate stale counts — without wiping the
+        rest of the registry.
+        """
+        for key in [k for k in self._counters if k.startswith(prefix)]:
+            del self._counters[key]
+        for key in [k for k in self._distributions if k.startswith(prefix)]:
+            del self._distributions[key]
+
     def reset(self) -> None:
         self._counters.clear()
         self._distributions.clear()

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import SystemConfig, default_system
+from repro.exec.base import validate_backend_name
 from repro.host.api import M2NDPRuntime
 from repro.ndp.device import M2NDPDevice
 from repro.sim.engine import Simulator
@@ -57,6 +58,10 @@ def make_platform(system: SystemConfig | None = None,
     system = system if system is not None else default_system()
     if backend is None:
         backend = os.environ.get("REPRO_EXEC_BACKEND")
+        if backend is not None:
+            validate_backend_name(
+                backend, source="REPRO_EXEC_BACKEND environment variable"
+            )
     sim = Simulator()
     device = M2NDPDevice(
         sim,

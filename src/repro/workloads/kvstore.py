@@ -34,12 +34,16 @@ VALUE_BYTES = 64
 HOST_HASH_NS = 150.0
 
 
-def _hash_key(k0: int, k1: int, k2: int, buckets: int) -> int:
+def hash_key(k0: int, k1: int, k2: int, buckets: int) -> int:
+    """The host-side key hash (also used by cluster serving drivers)."""
     h = (k0 * 0x9E3779B97F4A7C15 + k1 * 0xC2B2AE3D27D4EB4F + k2) & (
         0xFFFFFFFFFFFFFFFF
     )
     h ^= h >> 29
     return h % buckets
+
+
+_hash_key = hash_key
 
 
 @dataclass
@@ -124,12 +128,18 @@ class KVTable:
 
 
 def setup_table(runtime: M2NDPRuntime, data: KVStoreData,
-                spare_nodes: int = 1024) -> KVTable:
-    """Materialize buckets and chained nodes in device memory."""
+                spare_nodes: int = 1024,
+                placement: str | None = None) -> KVTable:
+    """Materialize buckets and chained nodes in device memory.
+
+    ``placement`` (cluster runtimes only) shards or replicates the table
+    across the expanders; the single-device runtime ignores it.
+    """
     device = runtime.device
-    buckets_addr = runtime.alloc(data.buckets * 8)
-    nodes_addr = runtime.alloc(data.items * NODE_BYTES, align=128)
-    spare_addr = runtime.alloc(spare_nodes * NODE_BYTES, align=128)
+    kwargs = {} if placement is None else {"placement": placement}
+    buckets_addr = runtime.alloc(data.buckets * 8, **kwargs)
+    nodes_addr = runtime.alloc(data.items * NODE_BYTES, align=128, **kwargs)
+    spare_addr = runtime.alloc(spare_nodes * NODE_BYTES, align=128, **kwargs)
 
     heads = np.zeros(data.buckets, dtype=np.uint64)
     node_of_item = np.zeros(data.items, dtype=np.uint64)

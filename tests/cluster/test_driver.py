@@ -1,0 +1,116 @@
+"""Multi-tenant traffic driver: correctness, percentiles, scaling."""
+
+import pytest
+
+from repro.cluster import make_cluster_platform
+from repro.cluster.driver import StreamSpec, TrafficDriver
+from repro.errors import ConfigError
+
+
+def _mixed_specs(requests=60):
+    return [
+        StreamSpec("kv", "kvstore", rate_rps=4e6, requests=requests,
+                   size=512),
+        StreamSpec("scan", "olap", rate_rps=1e6, requests=max(8, requests // 6),
+                   size=1 << 13),
+        StreamSpec("batch", "vecadd", rate_rps=1e6,
+                   requests=max(8, requests // 6), size=1 << 12),
+    ]
+
+
+class TestMultiTenantRun:
+    def test_all_streams_served_and_correct(self):
+        platform = make_cluster_platform(num_devices=2, backend="batched")
+        driver = TrafficDriver(platform, _mixed_specs())
+        report = driver.run()
+        assert report.correct
+        for stream, spec in zip(report.streams, _mixed_specs()):
+            assert stream.served == spec.requests
+        assert report.served == sum(s.requests for s in _mixed_specs())
+
+    def test_percentiles_ordered(self):
+        platform = make_cluster_platform(num_devices=2, backend="batched")
+        report = TrafficDriver(platform, _mixed_specs()).run()
+        assert report.p50_ns <= report.p95_ns <= report.p99_ns
+        for stream in report.streams:
+            assert stream.p50_ns <= stream.p95_ns <= stream.p99_ns
+            assert stream.span_ns > 0
+            assert stream.throughput_rps > 0
+
+    def test_render_mentions_every_stream(self):
+        platform = make_cluster_platform(num_devices=2, backend="batched")
+        report = TrafficDriver(platform, _mixed_specs(requests=30)).run()
+        text = report.render()
+        for stream in report.streams:
+            assert stream.name in text
+        assert "aggregate" in text
+
+    def test_open_loop_backlog_raises_latency(self):
+        # same work at 1000x the arrival rate: queueing must show in p95
+        def run(rate):
+            platform = make_cluster_platform(num_devices=1,
+                                             backend="batched")
+            spec = StreamSpec("scan", "olap", rate_rps=rate, requests=16,
+                              size=1 << 15, slices=4)
+            return TrafficDriver(platform, [spec]).run()
+        relaxed = run(1e4)
+        slammed = run(1e7)
+        assert slammed.p95_ns > 2 * relaxed.p95_ns
+
+    def test_deterministic_across_runs(self):
+        def run():
+            platform = make_cluster_platform(num_devices=2,
+                                             backend="batched")
+            return TrafficDriver(platform, _mixed_specs(requests=30)).run()
+        first, second = run(), run()
+        assert first.aggregate.samples == second.aggregate.samples
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamSpec("s", "graphql", rate_rps=1.0, requests=1)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamSpec("s", "olap", rate_rps=0.0, requests=1)
+
+    def test_duplicate_stream_names_rejected(self):
+        platform = make_cluster_platform(num_devices=1, backend="batched")
+        specs = [StreamSpec("same", "olap", rate_rps=1e5, requests=2),
+                 StreamSpec("same", "vecadd", rate_rps=1e5, requests=2)]
+        with pytest.raises(ConfigError):
+            TrafficDriver(platform, specs)
+
+    def test_empty_specs_rejected(self):
+        platform = make_cluster_platform(num_devices=1, backend="batched")
+        with pytest.raises(ConfigError):
+            TrafficDriver(platform, [])
+
+
+class TestScaling:
+    """Acceptance: 4 interleaved devices reach >= 3x the single-device
+    aggregate throughput on the vecadd and OLAP-scan drivers."""
+
+    @staticmethod
+    def _throughputs(num_devices):
+        platform = make_cluster_platform(num_devices=num_devices,
+                                         placement="interleaved",
+                                         backend="batched")
+        driver = TrafficDriver(platform, [
+            StreamSpec("vec", "vecadd", rate_rps=1e7, requests=8,
+                       size=1 << 16, slices=8),
+            StreamSpec("olap", "olap", rate_rps=1e7, requests=8,
+                       size=1 << 16, slices=8),
+        ])
+        report = driver.run()
+        assert report.correct
+        by_name = {s.name: s for s in report.streams}
+        return (by_name["vec"].throughput_rps,
+                by_name["olap"].throughput_rps)
+
+    def test_four_devices_at_least_3x(self):
+        vec_1, olap_1 = self._throughputs(1)
+        vec_4, olap_4 = self._throughputs(4)
+        assert vec_4 / vec_1 >= 3.0
+        assert olap_4 / olap_1 >= 3.0

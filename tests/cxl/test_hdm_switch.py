@@ -88,3 +88,89 @@ class TestCXLSwitch:
     def test_needs_downstream_port(self):
         with pytest.raises(ConfigError):
             CXLSwitch(num_downstream=0)
+
+
+class TestSwitchTiming:
+    """Hop-latency constants and bandwidth contention on the switch paths."""
+
+    def test_host_to_device_latency_decomposition(self):
+        switch = CXLSwitch(num_downstream=2)
+        size = 4096
+        bw = switch.config.bw_per_dir_bytes_per_ns
+        done = switch.host_to_device(0.0, 0, size)
+        # upstream then downstream serialization, plus one link one-way and
+        # the switch hop
+        expected = 2 * size / bw + switch.config.one_way_ns + SWITCH_HOP_NS
+        assert done == pytest.approx(expected)
+
+    def test_p2p_latency_decomposition(self):
+        switch = CXLSwitch(num_downstream=4)
+        size = 1 << 14
+        bw = switch.config.bw_per_dir_bytes_per_ns
+        done = switch.peer_to_peer(0.0, 2, 3, size)
+        # src port egress, dst port ingress, two link one-ways + the hop
+        expected = 2 * size / bw + 2 * switch.config.one_way_ns + SWITCH_HOP_NS
+        assert done == pytest.approx(expected)
+
+    def test_upstream_contention_serializes_overlapping_transfers(self):
+        switch = CXLSwitch(num_downstream=2)
+        size = 1 << 16
+        bw = switch.config.bw_per_dir_bytes_per_ns
+        # both transfers arrive at t=0 for *different* downstream ports: the
+        # shared upstream port serializes them
+        first = switch.host_to_device(0.0, 0, size)
+        second = switch.host_to_device(0.0, 1, size)
+        assert second - first == pytest.approx(size / bw)
+
+    def test_downstream_contention_under_overlap(self):
+        switch = CXLSwitch(num_downstream=4)
+        size = 1 << 16
+        bw = switch.config.bw_per_dir_bytes_per_ns
+        # two P2P flows into the same destination port from different
+        # sources: destination ingress is the bottleneck
+        first = switch.peer_to_peer(0.0, 0, 2, size)
+        second = switch.peer_to_peer(0.0, 1, 2, size)
+        assert second - first == pytest.approx(size / bw)
+
+    def test_disjoint_ports_do_not_contend(self):
+        switch = CXLSwitch(num_downstream=4)
+        size = 1 << 16
+        first = switch.peer_to_peer(0.0, 0, 1, size)
+        second = switch.peer_to_peer(0.0, 2, 3, size)
+        assert second == pytest.approx(first)
+
+    def test_same_port_p2p_rejected(self):
+        switch = CXLSwitch(num_downstream=4)
+        with pytest.raises(ConfigError):
+            switch.peer_to_peer(0.0, 3, 3, 64)
+
+    def test_byte_counters_accumulate(self):
+        switch = CXLSwitch(num_downstream=2)
+        switch.host_to_device(0.0, 0, 100)
+        switch.host_to_device(0.0, 1, 50)
+        switch.peer_to_peer(0.0, 0, 1, 25)
+        assert switch.stats.get("switch.host_bytes") == 150
+        assert switch.stats.get("switch.p2p_bytes") == 25
+
+    def test_reset_clears_byte_counters(self):
+        switch = CXLSwitch(num_downstream=2)
+        switch.host_to_device(0.0, 0, 4096)
+        switch.peer_to_peer(0.0, 0, 1, 4096)
+        switch.reset()
+        assert switch.stats.get("switch.host_bytes") == 0
+        assert switch.stats.get("switch.p2p_bytes") == 0
+        # bandwidth servers restart too: a post-reset transfer sees an
+        # idle switch
+        fresh = CXLSwitch(num_downstream=2)
+        assert switch.host_to_device(0.0, 0, 4096) == pytest.approx(
+            fresh.host_to_device(0.0, 0, 4096)
+        )
+
+    def test_reset_leaves_other_registry_entries(self):
+        stats = StatsRegistry()
+        stats.add("experiment.runs", 3)
+        switch = CXLSwitch(num_downstream=2, stats=stats)
+        switch.host_to_device(0.0, 0, 64)
+        switch.reset()
+        assert stats.get("experiment.runs") == 3
+        assert stats.get("switch.host_bytes") == 0
