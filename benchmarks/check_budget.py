@@ -1,0 +1,95 @@
+"""Smoke-bench wall-clock budget check for CI.
+
+Compares a freshly produced ``BENCH_smoke.json`` against the committed
+one and fails when any tracked wall-clock field regresses by more than
+the budget factor (default 2x; override with the
+``REPRO_BENCH_BUDGET_FACTOR`` environment variable, e.g. for slower CI
+runners).  A small absolute slack (``ABS_SLACK_SECONDS``) is added on
+top of the factor so sub-100 ms fields — where scheduler noise and cold
+numpy imports dominate — don't flake on shared CI workers or across
+machine generations; the committed baseline is measured on a developer
+box, not the runner.  Simulated results (``runtime_ns``) are covered by
+tests; this gate only protects the *wall-clock* trajectory, so a change
+that silently puts a Python loop back on the charge path turns CI red
+instead of slowly rotting every sweep.
+
+Usage::
+
+    python benchmarks/check_budget.py committed.json fresh.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: Dotted paths of the wall-clock fields under budget.
+TRACKED_FIELDS = (
+    "fig10a_point.batched.wall_seconds",
+    "cluster_point.x1.wall_seconds",
+    "cluster_point.x2.wall_seconds",
+    "traffic_point.wall_seconds",
+)
+
+DEFAULT_FACTOR = 2.0
+
+#: Flat allowance added to every budget: absorbs measurement noise on
+#: fields that are now only tens of milliseconds.
+ABS_SLACK_SECONDS = 0.5
+
+
+def _dig(payload: dict, dotted: str):
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(committed: dict, fresh: dict, factor: float) -> list[str]:
+    """Returns a list of human-readable budget violations."""
+    failures = []
+    for field in TRACKED_FIELDS:
+        base = _dig(committed, field)
+        now = _dig(fresh, field)
+        if base is None or now is None:
+            # a point only one side knows about is not a regression
+            # (e.g. comparing across a PR that adds a new smoke point)
+            continue
+        if now > base * factor + ABS_SLACK_SECONDS:
+            failures.append(
+                f"{field}: {now:.3f}s vs committed {base:.3f}s "
+                f"(> {factor:.1f}x + {ABS_SLACK_SECONDS:.1f}s budget)"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[0]) as fh:
+        committed = json.load(fh)
+    with open(argv[1]) as fh:
+        fresh = json.load(fh)
+    factor = float(os.environ.get("REPRO_BENCH_BUDGET_FACTOR",
+                                  DEFAULT_FACTOR))
+    failures = check(committed, fresh, factor)
+    for field in TRACKED_FIELDS:
+        base, now = _dig(committed, field), _dig(fresh, field)
+        if base is not None and now is not None:
+            print(f"  {field}: {now:.3f}s (committed {base:.3f}s, "
+                  f"budget {base * factor + ABS_SLACK_SECONDS:.3f}s)")
+    if failures:
+        print("wall-clock budget exceeded:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("wall-clock budget OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

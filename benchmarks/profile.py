@@ -1,0 +1,111 @@
+"""cProfile harness over smoke-sized runs: measure before cutting.
+
+Perf PRs against the simulation core must start from a profile, not a
+hunch — the PR that introduced this file found 97% of the cluster smoke
+point inside a per-sector Python loop that a cumulative-time glance at
+``run_kernel`` would have hidden.  This harness profiles one of the smoke
+benchmark's workloads and prints the top-N functions by *internal* time
+(where the cycles actually go) and by cumulative time (how you got
+there).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile.py [point] [--top N] [-o FILE]
+
+where ``point`` is one of:
+
+* ``cluster`` (default) — 2-device interleaved vecadd, one logical launch
+* ``traffic`` — 100-request open-loop vecadd stream on a 2-device cluster
+* ``fig10a``  — the TPC-H Q6 "small" OLAP point on the batched backend
+
+``-o FILE`` additionally dumps raw pstats for ``snakeviz``-style viewers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+import numpy as np
+
+
+def run_cluster() -> None:
+    from repro.cluster import make_cluster_platform
+    from repro.host.api import pack_args
+    from repro.kernels.vecadd import VECADD
+
+    elements = 1 << 18
+    a = (np.arange(elements) * 3).astype(np.int64)
+    b = a[::-1].copy()
+    platform = make_cluster_platform(num_devices=2, placement="interleaved",
+                                     backend="batched")
+    runtime = platform.runtime
+    addr_a = runtime.alloc_array(a)
+    addr_b = runtime.alloc_array(b)
+    addr_c = runtime.alloc(a.nbytes)
+    runtime.run_kernel(VECADD, addr_a, addr_a + a.nbytes,
+                       args=pack_args(addr_b, addr_c))
+
+
+def run_traffic() -> None:
+    from repro.cluster import make_cluster_platform
+    from repro.cluster.driver import StreamSpec, TrafficDriver
+
+    platform = make_cluster_platform(num_devices=2, placement="interleaved",
+                                     backend="batched")
+    driver = TrafficDriver(platform, [
+        StreamSpec("profile", "vecadd", rate_rps=2e5, requests=100),
+    ])
+    driver.run()
+
+
+def run_fig10a() -> None:
+    from repro.workloads import olap
+    from repro.workloads.base import make_platform, scale
+
+    preset = scale("small")
+    data = olap.generate("q6", preset.rows)
+    platform = make_platform(backend="batched")
+    olap.run_ndp_evaluate(platform, data)
+
+
+POINTS = {
+    "cluster": run_cluster,
+    "traffic": run_traffic,
+    "fig10a": run_fig10a,
+}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("point", nargs="?", default="cluster",
+                        choices=sorted(POINTS))
+    parser.add_argument("--top", type=int, default=20,
+                        help="functions to show per ranking (default 20)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also dump raw pstats to this file")
+    args = parser.parse_args(argv)
+
+    workload = POINTS[args.point]
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    print(f"profiled smoke point {args.point!r}: {wall:.3f}s wall\n")
+    stats = pstats.Stats(profiler)
+    for ranking in ("tottime", "cumulative"):
+        print(f"=== top {args.top} by {ranking} ===")
+        stats.sort_stats(ranking).print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw pstats written to {args.output}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

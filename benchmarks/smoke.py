@@ -1,12 +1,15 @@
 """Smoke benchmark: fast perf-trajectory tracking for CI.
 
 Runs the Fig 5 offload-timeline model, one Fig 10a OLAP point (TPC-H
-Q6, "small" scale) on *both* execution backends, and one cluster point
-(2-device interleaved vecadd vs 1 device), then writes
-``BENCH_smoke.json`` with simulated results and wall-clock times.  CI runs
+Q6, "small" scale) on *both* execution backends, one cluster point
+(2-device interleaved vecadd vs 1 device), and one repeated-launch
+traffic point (100 open-loop vecadd requests through the cluster — the
+trace cache's home turf), then writes ``BENCH_smoke.json`` with simulated
+results, wall-clock times and trace-cache hit/miss counters.  CI runs
 this on every push so the interpreter/batched performance gap, the
 scale-out speedup, and any regression in either are recorded from PR to
-PR.
+PR; ``benchmarks/check_budget.py`` turns wall-clock regressions into CI
+failures.
 
 Usage::
 
@@ -23,6 +26,7 @@ import time
 import numpy as np
 
 from repro.cluster import make_cluster_platform
+from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
 from repro.host.api import pack_args
 from repro.kernels.vecadd import VECADD
@@ -35,6 +39,9 @@ SMOKE_SCALE = "small"
 #: Cluster smoke point: elements per vecadd array (2 MB — big enough to be
 #: bandwidth-bound, small enough for a CI run).
 CLUSTER_SMOKE_ELEMENTS = 1 << 18
+
+#: Traffic smoke point: open-loop requests replayed against the cluster.
+TRAFFIC_SMOKE_REQUESTS = 100
 
 
 def bench_fig5() -> dict:
@@ -104,9 +111,40 @@ def bench_cluster_point(elements: int = CLUSTER_SMOKE_ELEMENTS) -> dict:
             "correct": correct,
             "sub_launches": plat.stats.get("cluster.sub_launches"),
             "switch_p2p_bytes": plat.stats.get("switch.p2p_bytes"),
+            "trace_cache_hits": plat.stats.get("exec.trace_cache_hits"),
+            "trace_cache_misses": plat.stats.get("exec.trace_cache_misses"),
         }
     out["cluster_speedup"] = out["x1"]["runtime_ns"] / out["x2"]["runtime_ns"]
     return out
+
+
+def bench_traffic_point(requests: int = TRAFFIC_SMOKE_REQUESTS) -> dict:
+    """Repeated-launch point: 100 open-loop vecadd requests, 2 devices.
+
+    Requests cycle through 8 working-set slices, so after the first pass
+    every launch shape is already traced — the wall-clock of this point
+    tracks the trace cache's replay path.
+    """
+    plat = make_cluster_platform(num_devices=2, placement="interleaved",
+                                 backend="batched")
+    driver = TrafficDriver(plat, [
+        StreamSpec("smoke", "vecadd", rate_rps=2e5, requests=requests),
+    ])
+    start = time.perf_counter()
+    report = driver.run()
+    wall = time.perf_counter() - start
+    return {
+        "requests": requests,
+        "wall_seconds": wall,
+        "served": report.served,
+        "correct": report.correct,
+        "p50_ns": report.p50_ns,
+        "p95_ns": report.p95_ns,
+        "p99_ns": report.p99_ns,
+        "throughput_rps": report.throughput_rps,
+        "trace_cache_hits": plat.stats.get("exec.trace_cache_hits"),
+        "trace_cache_misses": plat.stats.get("exec.trace_cache_misses"),
+    }
 
 
 def main(out_path: str = "BENCH_smoke.json") -> dict:
@@ -115,12 +153,14 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         "fig5": bench_fig5(),
         "fig10a_point": bench_fig10a_point(),
         "cluster_point": bench_cluster_point(),
+        "traffic_point": bench_traffic_point(),
     }
     point = payload["fig10a_point"]
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     cluster = payload["cluster_point"]
+    traffic = payload["traffic_point"]
     print(f"wrote {out_path}")
     print(f"  fig10a {point['query']}@{point['scale']}: "
           f"interpreter {point['interpreter']['wall_seconds']:.2f}s, "
@@ -130,14 +170,27 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
     print(f"  cluster vecadd {cluster['elements']} elems: "
           f"2-device speedup {cluster['cluster_speedup']:.2f}x "
           f"({cluster['x2']['sub_launches']:.0f} sub-launches)")
+    print(f"  traffic {traffic['requests']} requests: "
+          f"{traffic['wall_seconds']:.2f}s wall, "
+          f"p95 {traffic['p95_ns']:.0f} ns, trace cache "
+          f"{traffic['trace_cache_hits']:.0f} hits / "
+          f"{traffic['trace_cache_misses']:.0f} misses")
     if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
         raise SystemExit("smoke benchmark produced incorrect results")
     if not (cluster["x1"]["correct"] and cluster["x2"]["correct"]):
         raise SystemExit("cluster smoke point produced incorrect results")
+    if not traffic["correct"]:
+        raise SystemExit("traffic smoke point produced incorrect results")
     if cluster["cluster_speedup"] < 1.2:
         raise SystemExit(
             f"cluster smoke point lost its scale-out speedup "
             f"({cluster['cluster_speedup']:.2f}x)"
+        )
+    if traffic["trace_cache_hits"] <= traffic["trace_cache_misses"]:
+        raise SystemExit(
+            "traffic smoke point stopped hitting the trace cache "
+            f"({traffic['trace_cache_hits']:.0f} hits / "
+            f"{traffic['trace_cache_misses']:.0f} misses)"
         )
     return payload
 

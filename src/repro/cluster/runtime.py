@@ -223,6 +223,11 @@ class ClusterRuntime:
         self.scheduler = LaunchScheduler(policy, n)
         self._kernels: dict[int, list[int]] = {}
         self._serialize_per_device: dict[int, bool] = {}
+        #: source -> assembled program: serving loops re-register the same
+        #: kernel text per logical launch, and reusing one program object
+        #: keeps assembly out of the launch path and lets every device's
+        #: execution trace cache share one memoized code hash
+        self._assembled: dict[tuple[str, str], KernelProgram] = {}
         self.now = 0.0
 
     @property
@@ -266,7 +271,12 @@ class ClusterRuntime:
                         scratchpad_bytes: int = 0,
                         name: str = "kernel") -> int:
         if isinstance(kernel, str):
-            kernel = assemble_kernel(kernel, name=name)
+            memo_key = (kernel, name)
+            program = self._assembled.get(memo_key)
+            if program is None:
+                program = self._assembled[memo_key] = assemble_kernel(
+                    kernel, name=name)
+            kernel = program
         kids = []
         for rt in self.runtimes:
             # Blocking M2func calls on earlier devices stepped the shared

@@ -10,6 +10,8 @@ cheap for the sparse traffic of M2func calls.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config import CXLConfig
 from repro.cxl.protocol import CXLPacket, PacketType
 from repro.sim.engine import BandwidthServer
@@ -77,6 +79,35 @@ class CXLLink:
         else:
             response = CXLPacket(PacketType.BI_RSP, addr, 0)
         return self.send_to_device(at_host, response)
+
+    def back_invalidate_batch(self, arrivals_ns, dirty: bool = True):
+        """Bulk BI snoops: one round trip per element, bandwidth-charged.
+
+        Vectorized counterpart of :meth:`back_invalidate_round_trip` for
+        the batched execution backend: the snoops occupy the up direction
+        and the (dirty) responses the down direction via
+        :meth:`~repro.sim.engine.BandwidthServer.charge_batch`; returns
+        per-element data-ready times at the device.
+        """
+        arrivals_ns = np.asarray(arrivals_ns, dtype=np.float64)
+        count = arrivals_ns.size
+        if count == 0:
+            return arrivals_ns.copy()
+        snoop = CXLPacket(PacketType.BI_SNP, 0, 0)
+        if dirty:
+            response = CXLPacket(PacketType.MEM_WR, 0, 64, data=b"\0" * 64)
+        else:
+            response = CXLPacket(PacketType.BI_RSP, 0, 0)
+        at_host = self._up.charge_batch(
+            arrivals_ns, snoop.wire_bytes) + self.one_way_ns
+        ready = self._down.charge_batch(
+            at_host, response.wire_bytes) + self.one_way_ns
+        self.stats.add(f"{self.prefix}.up_bytes", snoop.wire_bytes * count)
+        self.stats.add(f"{self.prefix}.up_msgs", count)
+        self.stats.add(f"{self.prefix}.down_bytes",
+                       response.wire_bytes * count)
+        self.stats.add(f"{self.prefix}.down_msgs", count)
+        return ready
 
     # ------------------------------------------------------------------
 

@@ -47,15 +47,22 @@ Backend selection
   launches too small to amortize tracing.  Fallbacks are counted in the
   ``exec.batched_fallbacks`` stat; fast-path launches in
   ``exec.batched_launches``.
+* Repeated launches of the same shape skip tracing entirely through the
+  cross-launch :mod:`~repro.exec.trace_cache` (``exec.trace_cache_hits`` /
+  ``exec.trace_cache_misses``; disable with ``REPRO_TRACE_CACHE=0``).
 """
 
 from repro.exec.base import ExecutionBackend, make_backend
 from repro.exec.interpreter import InterpreterBackend
 from repro.exec.batched import BatchedBackend
+from repro.exec.trace_cache import TraceCache, TraceEntry, trace_key
 
 __all__ = [
     "ExecutionBackend",
     "InterpreterBackend",
     "BatchedBackend",
+    "TraceCache",
+    "TraceEntry",
     "make_backend",
+    "trace_key",
 ]

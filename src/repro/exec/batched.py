@@ -19,10 +19,22 @@ exploits that regularity:
   launch's sector-unique global address stream is paced through the
   device's *real* memory-side L2 and banked-DRAM virtual-time models, so
   bandwidth saturation, row locality and HDM back-invalidation still come
-  from the existing servers.  Launch runtime is therefore a roofline
+  from the existing servers.  The whole stream is charged through the bulk
+  APIs (``SectorCache.access_batch``, ``DRAMModel.access_batch``,
+  ``BandwidthServer.charge_batch``) in O(stream) vectorized work, and the
+  launch's issue pressure is applied to the sub-core servers via
+  ``IssueServer.service_batch``.  Launch runtime is therefore a roofline
   ``max(issue throughput, memory system, latency x waves)`` rather than an
   event-by-event FGMT schedule; it tracks the interpreter closely for the
   bulk launches this path accepts, but it is not bit-identical.
+
+* **Repeats are nearly free**: every traced launch is recorded in the
+  cross-launch :mod:`~repro.exec.trace_cache` keyed by (kernel code hash,
+  pool region, stride, offset bias, ASID, argument bytes).  The Nth launch
+  of the same shape — including the per-device sub-launches a cluster
+  scheduler fans out — skips tracing and sector derivation, re-running
+  only the functional replay (verified step-by-step against the recorded
+  trace) plus the analytic timing fill-in against live L2/DRAM state.
 
 Automatic fallback
 ------------------
@@ -51,6 +63,13 @@ import numpy as np
 from repro.errors import TranslationFault
 from repro.exec.base import register_backend
 from repro.exec.interpreter import InterpreterBackend
+from repro.exec.trace_cache import (
+    CachedStep,
+    StaleTrace,
+    TraceCache,
+    TraceEntry,
+    trace_key,
+)
 from repro.isa.encoding import FUnit, Instruction, OpClass
 from repro.isa.vector import vlmax
 from repro.mem.physical import PAGE_SIZE
@@ -125,10 +144,21 @@ def _float_to_bits(vals, sew: int) -> np.ndarray:
     raise _Fallback(f"no float representation for SEW {sew}")
 
 
+_LE_VIEW_DTYPES = {1: np.dtype("u1"), 2: np.dtype("<u2"),
+                   4: np.dtype("<u4"), 8: np.dtype("<u8")}
+
+
 def _from_le_bytes(raw: np.ndarray) -> np.ndarray:
     """(..., size) uint8 -> (...,) uint64, little endian."""
+    size = raw.shape[-1]
+    dtype = _LE_VIEW_DTYPES.get(size)
+    if dtype is not None:
+        # one reinterpreting view + widen instead of a per-byte loop
+        contiguous = np.ascontiguousarray(raw).reshape(-1, size)
+        return contiguous.view(dtype).reshape(raw.shape[:-1]).astype(
+            np.uint64)
     out = np.zeros(raw.shape[:-1], dtype=np.uint64)
-    for i in range(raw.shape[-1]):
+    for i in range(size):
         out |= raw[..., i].astype(np.uint64) << np.uint64(8 * i)
     return out
 
@@ -136,6 +166,10 @@ def _from_le_bytes(raw: np.ndarray) -> np.ndarray:
 def _to_le_bytes(vals, size: int) -> np.ndarray:
     """(...,) uint64 -> (..., size) uint8, little endian."""
     v = np.asarray(vals, dtype=np.uint64)
+    dtype = _LE_VIEW_DTYPES.get(size)
+    if dtype is not None:
+        narrowed = np.ascontiguousarray(v.astype(dtype)).reshape(-1)
+        return narrowed.view(np.uint8).reshape(v.shape + (size,))
     out = np.empty(v.shape + (size,), dtype=np.uint8)
     for i in range(size):
         out[..., i] = (v >> np.uint64(8 * i)).astype(np.uint8)
@@ -146,72 +180,6 @@ def _per_thread(arr: np.ndarray) -> np.ndarray:
     """Align a per-thread scalar (n,) with (..., vl) element matrices."""
     a = np.asarray(arr)
     return a[:, None] if a.ndim == 1 else a
-
-
-# ---------------------------------------------------------------------------
-# bulk physical-memory access
-# ---------------------------------------------------------------------------
-
-
-def _gather_bytes(physical, paddrs: np.ndarray, size: int) -> np.ndarray:
-    """Read ``size`` bytes at each physical address; (n, size) uint8."""
-    if paddrs.ndim == 0:
-        return np.frombuffer(
-            physical.read_bytes(int(paddrs), size), dtype=np.uint8
-        ).copy()
-    n = paddrs.shape[0]
-    out = np.zeros((n, size), dtype=np.uint8)
-    offsets = paddrs & _PAGE_MASK
-    crossing = offsets + size > PAGE_SIZE
-    if crossing.any():
-        for row in np.nonzero(crossing)[0]:
-            out[row] = np.frombuffer(
-                physical.read_bytes(int(paddrs[row]), size), dtype=np.uint8
-            )
-    rows = np.nonzero(~crossing)[0]
-    if not rows.size:
-        return out
-    pages = paddrs[rows] >> np.int64(PAGE_SHIFT)
-    order = np.argsort(pages, kind="stable")
-    rows, pages = rows[order], pages[order]
-    uniq, starts = np.unique(pages, return_index=True)
-    bounds = list(starts[1:]) + [rows.size]
-    col = np.arange(size)
-    lo = 0
-    for page, hi in zip(uniq, bounds):
-        sel = rows[lo:hi]
-        lo = hi
-        buf = physical.page_array(int(page))
-        if buf is None:
-            continue  # unwritten pages read as zeros
-        offs = (paddrs[sel] & _PAGE_MASK)[:, None] + col
-        out[sel] = buf[offs]
-    return out
-
-
-def _scatter_bytes(physical, paddrs: np.ndarray, data: np.ndarray) -> None:
-    """Write each (paddr, row-of-bytes) pair; later rows win on overlap."""
-    size = data.shape[-1]
-    offsets = paddrs & _PAGE_MASK
-    crossing = offsets + size > PAGE_SIZE
-    rows = np.nonzero(~crossing)[0]
-    if rows.size:
-        pages = paddrs[rows] >> np.int64(PAGE_SHIFT)
-        order = np.argsort(pages, kind="stable")
-        rows, pages = rows[order], pages[order]
-        uniq, starts = np.unique(pages, return_index=True)
-        bounds = list(starts[1:]) + [rows.size]
-        col = np.arange(size)
-        lo = 0
-        for page, hi in zip(uniq, bounds):
-            sel = rows[lo:hi]
-            lo = hi
-            buf = physical.page_array(int(page), create=True)
-            offs = (paddrs[sel] & _PAGE_MASK)[:, None] + col
-            buf[offs] = data[sel]
-    if crossing.any():
-        for row in np.nonzero(crossing)[0]:
-            physical.write_bytes(int(paddrs[row]), data[row].tobytes())
 
 
 class _Translator:
@@ -270,7 +238,7 @@ class _StoreLog:
 
     def commit(self, physical) -> None:
         for paddrs, data in self._entries:
-            _scatter_bytes(physical, paddrs, data)
+            physical.scatter_rows(paddrs, data)
 
 
 # ---------------------------------------------------------------------------
@@ -396,6 +364,7 @@ class _MemStep:
     size: int                      # bytes per µthread access
     is_write: bool
     paddrs: np.ndarray | None      # global steps: per-thread start addresses
+    vaddrs: np.ndarray | None = None   # pre-translation addresses (cache key)
 
 
 class _Done(Exception):
@@ -403,9 +372,18 @@ class _Done(Exception):
 
 
 class _BatchReplay:
-    """Vectorized lockstep execution of one launch's body µthreads."""
+    """Vectorized lockstep execution of one launch's body µthreads.
 
-    def __init__(self, device, execution: KernelExecution) -> None:
+    With a cached :class:`TraceEntry` the walk becomes a *replay*: the
+    functional numpy execution still runs in full (memory contents may
+    have changed since the trace), but every memory step's freshly
+    computed address vector is verified against the recorded one and the
+    recorded translation reused — any divergence raises
+    :class:`StaleTrace` so the caller can retrace from scratch.
+    """
+
+    def __init__(self, device, execution: KernelExecution,
+                 entry: TraceEntry | None = None) -> None:
         instance = execution.instance
         self.device = device
         self.n = instance.num_body_uthreads
@@ -414,6 +392,9 @@ class _BatchReplay:
         self.mem_steps: list[_MemStep] = []
         self.log = _StoreLog()
         self.translator = _Translator(device.page_table(instance.asid))
+        self._entry = entry
+        self._mem_i = 0
+        self._executed = 0
         spad = device.units[0].scratchpad
         self._spad = spad
         self._spad_lo = spad.base_vaddr
@@ -479,6 +460,18 @@ class _BatchReplay:
             raise _Fallback("mixed scratchpad/global access vector")
         return False
 
+    def _next_cached_step(self, is_spad: bool, size: int,
+                          is_write: bool) -> CachedStep:
+        entry = self._entry
+        if self._mem_i >= len(entry.steps):
+            raise StaleTrace("more memory steps than the cached trace")
+        step = entry.steps[self._mem_i]
+        self._mem_i += 1
+        if (step.is_spad != is_spad or step.size != size
+                or step.is_write != is_write):
+            raise StaleTrace("memory step shape diverged from cached trace")
+        return step
+
     def _load(self, addr, size: int) -> np.ndarray:
         """Load ``size`` bytes per µthread; returns (..., size) uint8."""
         addr = np.asarray(addr, dtype=np.int64)
@@ -489,7 +482,10 @@ class _BatchReplay:
                 # outside the argument block: per-unit state (unit 0's copy
                 # is not representative), so hand the launch back
                 raise _Fallback("scratchpad load outside the argument block")
-            self.mem_steps.append(_MemStep(True, size, False, None))
+            if self._entry is not None:
+                self._next_cached_step(True, size, False)
+            else:
+                self.mem_steps.append(_MemStep(True, size, False, None))
             # stat-free view: a mid-walk fallback must leave no counters
             # behind (the interpreter re-run charges them itself)
             view = self._spad.view()
@@ -497,13 +493,20 @@ class _BatchReplay:
             if addr.ndim == 0:
                 return view[int(offs):int(offs) + size].copy()
             return view[offs[:, None] + np.arange(size)]
-        paddrs = self.translator.translate(addr)
-        lo = int(paddrs.min()) if paddrs.ndim else int(paddrs)
-        hi = (int(paddrs.max()) if paddrs.ndim else int(paddrs)) + size
-        if self.log.overlaps(lo, hi):
-            raise _Fallback("load overlaps a buffered store (RAW via memory)")
-        self.mem_steps.append(_MemStep(False, size, False, paddrs))
-        return _gather_bytes(self.device.physical, paddrs, size)
+        if self._entry is not None:
+            step = self._next_cached_step(False, size, False)
+            if not np.array_equal(addr, step.vaddrs):
+                raise StaleTrace("load addresses diverged from cached trace")
+            paddrs = step.paddrs
+        else:
+            paddrs = self.translator.translate(addr)
+            lo = int(paddrs.min()) if paddrs.ndim else int(paddrs)
+            hi = (int(paddrs.max()) if paddrs.ndim else int(paddrs)) + size
+            if self.log.overlaps(lo, hi):
+                raise _Fallback(
+                    "load overlaps a buffered store (RAW via memory)")
+            self.mem_steps.append(_MemStep(False, size, False, paddrs, addr))
+        return self.device.physical.gather_rows(paddrs, size)
 
     def _store(self, addr, data: np.ndarray) -> None:
         """Buffer a store of (..., size) uint8 rows at per-µthread addrs."""
@@ -511,13 +514,19 @@ class _BatchReplay:
         if self._classify(addr):
             raise _Fallback("scratchpad store in kernel body")
         size = data.shape[-1]
-        paddrs = np.broadcast_to(
-            np.atleast_1d(self.translator.translate(addr)), (self.n,)
-        )
+        if self._entry is not None:
+            step = self._next_cached_step(False, size, True)
+            if not np.array_equal(addr, step.vaddrs):
+                raise StaleTrace("store addresses diverged from cached trace")
+            paddrs = step.paddrs
+        else:
+            paddrs = np.broadcast_to(
+                np.atleast_1d(self.translator.translate(addr)), (self.n,)
+            )
+            self.mem_steps.append(_MemStep(False, size, True, paddrs, addr))
         rows = np.broadcast_to(
             data if data.ndim == 2 else data[None, :], (self.n, size)
         )
-        self.mem_steps.append(_MemStep(False, size, True, paddrs))
         self.log.log(paddrs, np.ascontiguousarray(rows))
 
     def commit(self) -> None:
@@ -529,16 +538,22 @@ class _BatchReplay:
         instructions = self.program.instructions
         count = len(instructions)
         pc = 0
+        record = self._entry is None
         with np.errstate(all="ignore"):
             try:
                 while pc < count:
-                    if len(self.trace) >= MAX_TRACE_STEPS:
+                    if self._executed >= MAX_TRACE_STEPS:
                         raise _Fallback("trace exceeds step cap")
                     inst = instructions[pc]
-                    self.trace.append(inst)
+                    self._executed += 1
+                    if record:
+                        self.trace.append(inst)
                     pc = self._step(inst, pc)
             except _Done:
                 pass
+        if not record and (self._executed != self._entry.trace_len
+                           or self._mem_i != len(self._entry.steps)):
+            raise StaleTrace("control flow diverged from cached trace")
         return self
 
     def _step(self, inst: Instruction, pc: int) -> int:
@@ -852,30 +867,100 @@ class _BatchReplay:
 
 
 class BatchedBackend(InterpreterBackend):
-    """Batched fast path with automatic per-launch interpreter fallback."""
+    """Batched fast path with automatic per-launch interpreter fallback.
+
+    Launch execution is two-tier: a full *trace* (vectorized walk that
+    records memory steps and derives the launch's sector streams) on the
+    first sighting of a launch shape, and a cached *replay* (functional
+    walk only, verified against the recorded trace) for every repeat —
+    see :mod:`repro.exec.trace_cache`.
+    """
 
     name = "batched"
 
+    def __init__(self, device) -> None:
+        super().__init__(device)
+        self.trace_cache = TraceCache.from_env()
+
     def register_execution(self, execution: KernelExecution,
                            now_ns: float) -> None:
+        device = self.device
         plan = None
+        entry = None
+        key = None
         reason = self._reject_reason(execution)
         if reason is None:
-            try:
-                plan = _BatchReplay(self.device, execution).run()
-            except _Fallback as exc:
-                reason = str(exc)
+            cache = self.trace_cache
+            if cache.enabled:
+                key = trace_key(execution)
+                entry = cache.lookup(key, device.translation_version)
+            if entry is not None:
+                try:
+                    plan = _BatchReplay(device, execution, entry=entry).run()
+                    device.stats.add("exec.trace_cache_hits")
+                except (StaleTrace, _Fallback):
+                    # behaviour diverged from the recorded trace (data-
+                    # dependent control flow or addressing): retrace
+                    cache.invalidate(key)
+                    plan = None
+                    entry = None
+            if plan is None:
+                try:
+                    plan = _BatchReplay(device, execution).run()
+                except _Fallback as exc:
+                    reason = str(exc)
+                else:
+                    entry = self._build_entry(plan)
+                    if cache.enabled:
+                        device.stats.add("exec.trace_cache_misses")
+                        cache.store(key, entry)
         if plan is None:
-            self.device.stats.add("exec.batched_fallbacks")
+            device.stats.add("exec.batched_fallbacks")
             super().register_execution(execution, now_ns)
             return
-        self.device.stats.add("exec.batched_launches")
+        device.stats.add("exec.batched_launches")
         plan.commit()
         # Take ownership of every µthread: a concurrent interpreter refill
         # (e.g. from a fallback launch) must not re-execute this launch.
         execution.consume_plan()
         self._active.append(execution)
-        self._schedule_completion(execution, plan, now_ns)
+        self._schedule_completion(execution, plan.n, entry, now_ns)
+
+    # ------------------------------------------------------------------
+
+    def _build_entry(self, plan: _BatchReplay) -> TraceEntry:
+        """Derive the reusable launch profile from a completed full walk."""
+        sector_bytes = self.device.config.l2.sector_bytes
+        fu_counts: dict[FUnit, int] = {}
+        latency_cycles = 0
+        for inst in plan.trace:
+            fu_counts[inst.unit] = fu_counts.get(inst.unit, 0) + 1
+            latency_cycles += inst.latency_cycles
+        steps: list[CachedStep] = []
+        streams: list[tuple[np.ndarray, bool]] = []
+        for ms in plan.mem_steps:
+            if ms.is_spad:
+                steps.append(CachedStep(True, ms.size, ms.is_write))
+                continue
+            sectors = self._step_sectors(ms, sector_bytes)
+            streams.append((sectors, ms.is_write))
+            steps.append(CachedStep(False, ms.size, ms.is_write,
+                                    vaddrs=ms.vaddrs, paddrs=ms.paddrs,
+                                    sector_count=len(sectors)))
+        merged_addrs, merged_writes = self._merge_streams(streams)
+        page_count = int(
+            np.unique(merged_addrs >> np.int64(PAGE_SHIFT)).size
+        ) if merged_addrs.size else 0
+        return TraceEntry(
+            translation_version=self.device.translation_version,
+            trace_len=len(plan.trace),
+            latency_cycles=latency_cycles,
+            fu_counts=fu_counts,
+            steps=steps,
+            merged_addrs=merged_addrs,
+            merged_writes=merged_writes,
+            page_count=page_count,
+        )
 
     # ------------------------------------------------------------------
 
@@ -894,64 +979,62 @@ class BatchedBackend(InterpreterBackend):
 
     # ------------------------------------------------------------------
 
-    def _schedule_completion(self, execution: KernelExecution,
-                             plan: _BatchReplay, now_ns: float) -> None:
+    def _schedule_completion(self, execution: KernelExecution, n: int,
+                             entry: TraceEntry, now_ns: float) -> None:
         device = self.device
         cfg = device.config.ndp
         stats = device.stats
-        n = plan.n
-        trace = plan.trace
+        trace_len = entry.trace_len
+        fu_counts = entry.fu_counts
         period = cfg.clock.period_ns
         start = max(now_ns, device.sim.now) + SPAWN_LATENCY_NS
 
         # --- issue-throughput bound (per sub-core, FGMT hides latency) ---
         per_unit = math.ceil(n / cfg.num_units)
         per_subcore = per_unit / cfg.subcores_per_unit
-        fu_counts: dict[FUnit, int] = {}
-        latency_cycles = 0
-        for inst in trace:
-            fu_counts[inst.unit] = fu_counts.get(inst.unit, 0) + 1
-            latency_cycles += inst.latency_cycles
         fu_width = {
             FUnit.SALU: cfg.scalar_alus_per_subcore,
             FUnit.VALU: cfg.vector_alus_per_subcore,
         }
-        compute_ns = len(trace) * per_subcore * period / cfg.issue_width
+        compute_ns = trace_len * per_subcore * period / cfg.issue_width
         for fu, fu_count in fu_counts.items():
             compute_ns = max(
                 compute_ns, fu_count * per_subcore * period / fu_width.get(fu, 1)
             )
+        # Occupy the sub-cores' dispatch/FU issue servers with the whole
+        # launch in one bulk charge, so interpreter-path launches running
+        # concurrently observe this launch's issue pressure.
+        dispatch_ops = math.ceil(trace_len * per_subcore)
+        fu_ops = [(fu, math.ceil(c * per_subcore))
+                  for fu, c in fu_counts.items()]
+        for unit in device.units:
+            for subcore in unit.subcores:
+                subcore.dispatch.service_batch(start, dispatch_ops)
+                subcore.instructions_issued += dispatch_ops
+                for fu, ops in fu_ops:
+                    subcore.units[fu].service_batch(start, ops)
 
-        # --- unique-sector streams per memory step -----------------------
-        sector_bytes = device.config.l2.sector_bytes
-        streams: list[tuple[np.ndarray, bool]] = []
-        step_sector_counts: list[int] = []
-        pages: set[int] = set()
-        for step in plan.mem_steps:
+        # --- traffic stats from the launch's step profile ----------------
+        for step in entry.steps:
             if step.is_spad:
                 stats.add("ndp.spad_traffic_bytes", step.size * n)
-                step_sector_counts.append(0)
-                continue
-            stats.add("ndp.global_traffic_bytes", step.size * n)
-            stats.add("ndp.global_accesses", n)
-            sectors = self._step_sectors(step, sector_bytes)
-            streams.append((sectors, step.is_write))
-            step_sector_counts.append(len(sectors))
-            pages.update((sectors >> np.int64(PAGE_SHIFT)).tolist())
+            else:
+                stats.add("ndp.global_traffic_bytes", step.size * n)
+                stats.add("ndp.global_accesses", n)
 
         # --- latency floor: serial thread latency x occupancy waves ------
         unit0 = device.units[0]
         dram_lat = device.dram.typical_random_latency_ns()
         l1_hit = device.config.ndp.l1d.hit_latency_ns
         l2_hit = device.config.l2.hit_latency_ns
-        thread_lat = latency_cycles * period
-        for step, sector_count in zip(plan.mem_steps, step_sector_counts):
+        thread_lat = entry.latency_cycles * period
+        for step in entry.steps:
             if step.is_spad:
                 thread_lat += unit0.scratchpad.latency_ns
             elif step.is_write:
                 # posted write-through: the thread continues after L1
                 thread_lat += l1_hit
-            elif sector_count * 8 <= n:
+            elif step.sector_count * 8 <= n:
                 # many threads share these sectors (e.g. gemv's activation
                 # vector): all but the first hit their unit's L1, so the
                 # typical thread's critical path pays a hit, not DRAM
@@ -964,24 +1047,21 @@ class BatchedBackend(InterpreterBackend):
 
         # --- memory-system bound: sector stream through the real L2/DRAM -
         completion = start + window
-        merged = self._merge_streams(streams)
+        merged = entry.merged_addrs.size
         if merged:
             # Every participating unit takes one on-chip TLB fill per page
             # it touches; the pre-warmed DRAM-TLB serves them without DRAM
             # traffic (§III-H), so only the stat is charged.
-            stats.add("ndp.tlb_fill", len(pages) * min(cfg.num_units, n))
-            l2_dram = device.l2_dram_access
-            dt = window / len(merged)
-            k = 0
-            for sector, is_write in merged:
-                done = l2_dram(sector, sector_bytes, start + k * dt, is_write)
-                k += 1
-                if done > completion:
-                    completion = done
+            stats.add("ndp.tlb_fill", entry.page_count * min(cfg.num_units, n))
+            dt = window / merged
+            arrivals = start + dt * np.arange(merged)
+            completion = max(completion, device.l2_dram_access_batch(
+                entry.merged_addrs, arrivals, entry.merged_writes
+            ))
 
         # --- bookkeeping + completion event ------------------------------
         instance = execution.instance
-        stats.add("ndp.instructions", n * len(trace))
+        stats.add("ndp.instructions", n * trace_len)
         stats.add("ndp.uthreads_spawned", n)
         stats.add("ndp.uthreads_finished", n)
         ratio = min(per_unit, slots_per_unit) / slots_per_unit
@@ -990,7 +1070,7 @@ class BatchedBackend(InterpreterBackend):
 
         def finish() -> None:
             now = device.sim.now
-            instance.instructions += n * len(trace)
+            instance.instructions += n * trace_len
             instance.uthreads_done = instance.uthreads_total
             for unit in device.units:
                 unit.occupancy.sampler.record(now, 0.0)
@@ -1020,7 +1100,7 @@ class BatchedBackend(InterpreterBackend):
     @staticmethod
     def _merge_streams(
         streams: list[tuple[np.ndarray, bool]],
-    ) -> list[tuple[int, bool]]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Proportionally interleave the per-step sector streams.
 
         All µthreads progress through the trace roughly together (they are
@@ -1029,12 +1109,14 @@ class BatchedBackend(InterpreterBackend):
         reads interleave with mask writes.  Merging each stream at its own
         uniform rate reproduces that mix (and its DRAM bank behaviour)
         instead of an artificially bank-friendly step-by-step sweep.
+        Returns (addresses, is_write) arrays ready for the bulk charge.
         """
         if not streams:
-            return []
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
         if len(streams) == 1:
             sectors, is_write = streams[0]
-            return [(int(s), is_write) for s in sectors]
+            return (np.asarray(sectors, dtype=np.int64),
+                    np.full(len(sectors), is_write, dtype=bool))
         positions = np.concatenate([
             (np.arange(len(sectors)) + 0.5) / max(len(sectors), 1)
             for sectors, _ in streams
@@ -1044,9 +1126,7 @@ class BatchedBackend(InterpreterBackend):
             np.full(len(sectors), is_write) for sectors, is_write in streams
         ])
         order = np.argsort(positions, kind="stable")
-        return [
-            (int(addrs[i]), bool(writes[i])) for i in order
-        ]
+        return addrs[order].astype(np.int64), writes[order]
 
 
 register_backend(BatchedBackend.name, BatchedBackend)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.config import CacheConfig
 from repro.sim.stats import StatsRegistry
 
@@ -40,6 +42,22 @@ class AccessResult:
     @property
     def full_hit(self) -> bool:
         return not self.missing_sectors
+
+
+@dataclass
+class BatchAccessResult:
+    """Outcome of one :meth:`SectorCache.access_batch` stream.
+
+    ``fill_idx`` are batch positions whose sector must be supplied by the
+    next level (in stream order); ``wb_idx``/``wb_addrs`` pair each dirty
+    evicted sector with the batch position of the allocation that evicted
+    it, so the caller can interleave writeback traffic at the right time.
+    """
+
+    hit_mask: np.ndarray
+    fill_idx: np.ndarray
+    wb_idx: np.ndarray
+    wb_addrs: np.ndarray
 
 
 class SectorCache:
@@ -149,6 +167,213 @@ class SectorCache:
             line.dirty_sectors |= bit
         self._touch(line)
         result.missing_sectors.append((sector_addr, self.config.sector_bytes))
+
+    # ------------------------------------------------------------------
+
+    def access_batch(self, sector_addrs: np.ndarray,
+                     is_write: np.ndarray) -> "BatchAccessResult":
+        """Vectorized hit/miss classification of an ordered sector stream.
+
+        Each element is one sector-aligned, sector-sized access.  The
+        classification, install, dirty and eviction behaviour mirrors
+        calling :meth:`access` per element, computed with numpy index
+        arrays plus one small Python pass over the *unique lines* (not the
+        accesses).  Two deliberate approximations for streams whose
+        footprint exceeds the cache (documented because the sequential
+        path would differ slightly):
+
+        * a line touched earlier in the batch is assumed still resident
+          when re-touched later (re-touches refresh LRU recency, so the
+          sequential LRU keeps them in all but adversarial patterns);
+        * when one batch pushes a set past its associativity several
+          times over, victims are retired in recency order (pre-batch LRU
+          stamps first, then batch order) rather than interleaved
+          access-by-access.
+
+        Only meaningful for write-allocate write-back caches (the
+        memory-side L2); other configurations keep the scalar path.
+        """
+        if not (self.write_allocate and self.write_back):
+            raise NotImplementedError(
+                "access_batch models write-allocate/write-back caches only"
+            )
+        n = int(sector_addrs.size)
+        if n == 0:
+            return BatchAccessResult(
+                hit_mask=np.empty(0, dtype=bool),
+                fill_idx=np.empty(0, dtype=np.int64),
+                wb_idx=np.empty(0, dtype=np.int64),
+                wb_addrs=np.empty(0, dtype=np.int64),
+            )
+        cfg = self.config
+        spl = self.sectors_per_line
+        sector_ids = sector_addrs // cfg.sector_bytes
+        line_ids = sector_ids // spl
+        sector_idx = sector_ids - line_ids * spl
+        bit = (np.int64(1) << sector_idx)
+
+        _, sec_first = np.unique(sector_ids, return_index=True)
+        first_mask = np.zeros(n, dtype=bool)
+        first_mask[sec_first] = True
+
+        uniq_lines, line_inv = np.unique(line_ids, return_inverse=True)
+        m = len(uniq_lines)
+        sets_arr = uniq_lines % cfg.num_sets
+        tags_arr = uniq_lines // cfg.num_sets
+        # one Python pass over the unique lines; .tolist() gives native
+        # ints (numpy scalars hash an order of magnitude slower)
+        sets_list = sets_arr.tolist()
+        tags_list = tags_arr.tolist()
+        all_sets = self._sets
+        lines = [all_sets[s].get(t) for s, t in zip(sets_list, tags_list)]
+        resident = np.fromiter((ln is not None for ln in lines), bool, m)
+        valid_pre = np.fromiter(
+            (ln.valid_sectors if ln is not None else 0 for ln in lines),
+            np.int64, m,
+        )
+        hit = (~first_mask) | (
+            resident[line_inv] & ((valid_pre[line_inv] & bit) != 0)
+        )
+        w = np.asarray(is_write, dtype=bool)
+        for name, count in (
+            ("read_hits", int(np.count_nonzero(hit & ~w))),
+            ("write_hits", int(np.count_nonzero(hit & w))),
+            ("read_misses", int(np.count_nonzero(~hit & ~w))),
+            ("write_misses", int(np.count_nonzero(~hit & w))),
+        ):
+            if count:
+                self.stats.add(f"{self.prefix}.{name}", count)
+
+        # per-line aggregates over the batch
+        order = np.argsort(line_inv, kind="stable")
+        seg_starts = np.flatnonzero(
+            np.diff(line_inv[order], prepend=np.int64(-1))
+        )
+        positions = np.arange(n, dtype=np.int64)[order]
+        valid_or = np.bitwise_or.reduceat(bit[order], seg_starts)
+        dirty_or = np.bitwise_or.reduceat(
+            np.where(w, bit, np.int64(0))[order], seg_starts
+        )
+        first_occ = np.minimum.reduceat(positions, seg_starts)
+        last_occ = np.maximum.reduceat(positions, seg_starts)
+
+        base_stamp = self._stamp
+        self._stamp += n
+        wb_idx: list[int] = []
+        wb_addrs: list[int] = []
+        transient: set[int] = set()
+        new_mask = ~resident
+        if new_mask.any():
+            self._evict_for_batch(
+                sets_arr, tags_arr, resident, first_occ, last_occ,
+                dirty_or, new_mask, wb_idx, wb_addrs, transient,
+            )
+        valid_list = valid_or.tolist()
+        dirty_list = dirty_or.tolist()
+        stamp_list = (last_occ + (base_stamp + 1)).tolist()
+        for i in range(m):
+            if i in transient:
+                continue
+            line = lines[i]
+            if line is None:
+                line = _Line(tag=tags_list[i])
+                all_sets[sets_list[i]][line.tag] = line
+            line.valid_sectors |= valid_list[i]
+            line.dirty_sectors |= dirty_list[i]
+            line.lru_stamp = stamp_list[i]
+
+        return BatchAccessResult(
+            hit_mask=hit,
+            fill_idx=np.flatnonzero(~hit),
+            wb_idx=np.asarray(wb_idx, dtype=np.int64),
+            wb_addrs=np.asarray(wb_addrs, dtype=np.int64),
+        )
+
+    def _evict_for_batch(self, sets_arr, tags_arr, resident, first_occ,
+                         last_occ, dirty_or, new_mask, wb_idx, wb_addrs,
+                         transient) -> None:
+        """Retire LRU victims for every set a batch pushes past capacity.
+
+        Victim ``j`` (0-based, after the set's free ways are consumed) is
+        evicted by the ``j``-th over-capacity allocation, so its dirty
+        sectors write back at that allocation's position in the stream —
+        the same interleaving the sequential path produces.  New lines
+        are grouped per set with one lexsort up front; the Python loop
+        below runs only over sets that actually overflow.
+        """
+        cfg = self.config
+        new_idx = np.flatnonzero(new_mask)
+        order = np.lexsort((first_occ[new_idx], sets_arr[new_idx]))
+        new_sorted = new_idx[order]
+        s_sorted = sets_arr[new_sorted]
+        bounds = np.flatnonzero(
+            np.diff(s_sorted, prepend=s_sorted[0] - 1)
+        ).tolist() + [len(s_sorted)]
+        touched_by_set: dict[int, list[int]] | None = None
+        evictions = 0
+        writebacks = 0
+        for bi in range(len(bounds) - 1):
+            lo, hi = bounds[bi], bounds[bi + 1]
+            s = int(s_sorted[lo])
+            ways = self._sets[s]
+            free = cfg.ways - len(ways)
+            n_evict = (hi - lo) - free
+            if n_evict <= 0:
+                continue
+            sel = new_sorted[lo:hi]           # ordered by first occurrence
+            alloc_ks = first_occ[sel[free:]].tolist()
+            if touched_by_set is None:
+                # built once, lazily: resident lines re-touched this
+                # batch, grouped by set in last-touch order
+                touched_by_set = {}
+                res_idx = np.flatnonzero(resident)
+                res_order = np.lexsort((last_occ[res_idx],
+                                        sets_arr[res_idx]))
+                for i in res_idx[res_order].tolist():
+                    touched_by_set.setdefault(int(sets_arr[i]), []).append(i)
+            touched = touched_by_set.get(s, [])
+            touched_tags = {int(tags_arr[i]) for i in touched}
+            victims: list[tuple[object, int | None]] = [
+                (ln, None) for ln in sorted(
+                    (ln for t, ln in ways.items() if t not in touched_tags),
+                    key=lambda ln: ln.lru_stamp,
+                )
+            ]
+            if n_evict > len(victims):
+                # deep overflow: resident lines re-touched this batch go
+                # next (ordered by their last touch), then the earliest
+                # batch lines themselves (installed, then evicted)
+                victims.extend((ways[int(tags_arr[i])], i) for i in touched)
+            if n_evict > len(victims):
+                for i in sel[:n_evict - len(victims)].tolist():
+                    victims.append((None, i))
+            for j, (line, uniq_i) in enumerate(victims[:n_evict]):
+                k = alloc_ks[j]
+                if uniq_i is not None:
+                    transient.add(uniq_i)
+                dirty = 0
+                if line is not None:
+                    dirty = line.dirty_sectors
+                    line_addr = (line.tag * cfg.num_sets + s) \
+                        * cfg.line_bytes
+                    del ways[line.tag]
+                if uniq_i is not None:
+                    dirty |= int(dirty_or[uniq_i])
+                    line_addr = (int(tags_arr[uniq_i]) * cfg.num_sets
+                                 + s) * cfg.line_bytes
+                evictions += 1
+                if dirty:
+                    writebacks += 1
+                    for idx in range(self.sectors_per_line):
+                        if dirty & (1 << idx):
+                            wb_idx.append(k)
+                            wb_addrs.append(
+                                line_addr + idx * cfg.sector_bytes
+                            )
+        if evictions:
+            self.stats.add(f"{self.prefix}.evictions", evictions)
+        if writebacks:
+            self.stats.add(f"{self.prefix}.writebacks", writebacks)
 
     # ------------------------------------------------------------------
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import DRAMConfig
 
 INTERLEAVE_GRANULE = 256
@@ -51,6 +53,23 @@ class AddressLayout:
         col_granule = within_bank % self.granules_per_row
         column_offset = col_granule * self.granule + addr % self.granule
         return DRAMCoordinates(channel, bank, row, column_offset)
+
+    def coordinates_batch(
+        self, addrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`coordinates`: (channel, bank, row) arrays.
+
+        Column offsets are omitted (the timing model only consumes the
+        first three), so one pass over a whole sector stream replaces one
+        Python call per access.
+        """
+        gid = addrs // self.granule
+        folded = gid ^ (gid >> 7) ^ (gid >> 14) ^ (gid >> 21)
+        channel = folded % self.config.channels
+        sid = gid // self.config.channels
+        bank = sid % self.config.banks_per_channel
+        row = (sid // self.config.banks_per_channel) // self.granules_per_row
+        return channel, bank, row
 
     def split_by_granule(self, addr: int, size: int) -> list[tuple[int, int]]:
         """Split [addr, addr+size) into (addr, size) pieces within granules."""

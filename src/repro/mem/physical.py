@@ -183,6 +183,74 @@ class PhysicalMemory:
             page = self._page(index)
         return np.frombuffer(page, dtype=np.uint8)
 
+    # -- vectorized row access (batched execution backend) --------------------
+
+    def gather_rows(self, paddrs: np.ndarray, size: int) -> np.ndarray:
+        """Read ``size`` bytes at each physical address; (n, size) uint8.
+
+        Rows are grouped by backing page so one numpy fancy-index serves
+        every same-page row; page-crossing rows fall back to
+        :meth:`read_bytes`.  Unwritten pages read as zeros.
+        """
+        if paddrs.ndim == 0:
+            return np.frombuffer(
+                self.read_bytes(int(paddrs), size), dtype=np.uint8
+            ).copy()
+        n = paddrs.shape[0]
+        out = np.zeros((n, size), dtype=np.uint8)
+        offsets = paddrs % PAGE_SIZE
+        crossing = offsets + size > PAGE_SIZE
+        if crossing.any():
+            for row in np.nonzero(crossing)[0]:
+                out[row] = np.frombuffer(
+                    self.read_bytes(int(paddrs[row]), size), dtype=np.uint8
+                )
+        rows = np.nonzero(~crossing)[0]
+        if not rows.size:
+            return out
+        pages = paddrs[rows] // PAGE_SIZE
+        if pages.size > 1 and not (pages[1:] >= pages[:-1]).all():
+            order = np.argsort(pages, kind="stable")
+            rows, pages = rows[order], pages[order]
+        uniq, starts = np.unique(pages, return_index=True)
+        bounds = list(starts[1:]) + [rows.size]
+        col = np.arange(size)
+        lo = 0
+        for page, hi in zip(uniq, bounds):
+            sel = rows[lo:hi]
+            lo = hi
+            buf = self.page_array(int(page))
+            if buf is None:
+                continue  # unwritten pages read as zeros
+            offs = (paddrs[sel] % PAGE_SIZE)[:, None] + col
+            out[sel] = buf[offs]
+        return out
+
+    def scatter_rows(self, paddrs: np.ndarray, data: np.ndarray) -> None:
+        """Write each (paddr, row-of-bytes) pair; later rows win on overlap."""
+        size = data.shape[-1]
+        offsets = paddrs % PAGE_SIZE
+        crossing = offsets + size > PAGE_SIZE
+        rows = np.nonzero(~crossing)[0]
+        if rows.size:
+            pages = paddrs[rows] // PAGE_SIZE
+            if pages.size > 1 and not (pages[1:] >= pages[:-1]).all():
+                order = np.argsort(pages, kind="stable")
+                rows, pages = rows[order], pages[order]
+            uniq, starts = np.unique(pages, return_index=True)
+            bounds = list(starts[1:]) + [rows.size]
+            col = np.arange(size)
+            lo = 0
+            for page, hi in zip(uniq, bounds):
+                sel = rows[lo:hi]
+                lo = hi
+                buf = self.page_array(int(page), create=True)
+                offs = (paddrs[sel] % PAGE_SIZE)[:, None] + col
+                buf[offs] = data[sel]
+        if crossing.any():
+            for row in np.nonzero(crossing)[0]:
+                self.write_bytes(int(paddrs[row]), data[row].tobytes())
+
     # -- bookkeeping ------------------------------------------------------------
 
     @property

@@ -14,6 +14,8 @@ from __future__ import annotations
 import struct
 from functools import partial
 
+import numpy as np
+
 from repro.config import SystemConfig
 from repro.cxl.hdm import HDMCoherence
 from repro.cxl.link import CXLLink
@@ -72,6 +74,9 @@ class M2NDPDevice:
         self.coherence = HDMCoherence(self.link, dirty_fraction, self.stats)
         self.dram_tlb = DRAMTLB()
         self._page_tables: dict[int, PageTable] = {}
+        #: bumped whenever any page table replaces or removes a live
+        #: translation; the execution trace cache keys validity on it
+        self.translation_version = 0
         self.code_registry: dict[int, KernelProgram] = {}
         self.controller = NDPController(self, queue_capacity=queue_capacity)
         self.units = [
@@ -93,8 +98,13 @@ class M2NDPDevice:
     def page_table(self, asid: int) -> PageTable:
         table = self._page_tables.get(asid)
         if table is None:
-            table = self._page_tables[asid] = PageTable(asid)
+            table = self._page_tables[asid] = PageTable(
+                asid, on_change=self._bump_translation_version
+            )
         return table
+
+    def _bump_translation_version(self) -> None:
+        self.translation_version += 1
 
     def install_code(self, code_loc: int, program: KernelProgram) -> None:
         """Place kernel code in HDM (we keep the decoded form alongside)."""
@@ -134,6 +144,54 @@ class M2NDPDevice:
                 completion,
                 self.dram.access(sector_addr, sector_size, done, is_write),
             )
+        return completion
+
+    def l2_dram_access_batch(self, sector_addrs, arrivals_ns,
+                             is_write) -> float:
+        """Bulk counterpart of :meth:`l2_dram_access` for a sector stream.
+
+        One vectorized pass charges HDM back-invalidation (reads of
+        host-dirty lines), the memory-side L2 and the banked DRAM for a
+        whole launch's sector-unique address stream — O(stream) numpy work
+        instead of one Python round trip per sector.  Returns the latest
+        completion among hits and fills (evicted-line writebacks are
+        charged but, as in the scalar path, never block the launch).
+        """
+        sector_bytes = self.config.l2.sector_bytes
+        arrivals = np.asarray(arrivals_ns, dtype=np.float64)
+        if not sector_addrs.size:
+            return self.sim.now
+        if self.coherence.dirty_fraction > 0.0:
+            reads = ~np.asarray(is_write, dtype=bool)
+            if reads.any():
+                arrivals = arrivals.copy()
+                arrivals[reads] = self.coherence.access_batch(
+                    sector_addrs[reads], sector_bytes, arrivals[reads]
+                )
+        result = self.l2.access_batch(sector_addrs, is_write)
+        done = arrivals + self.config.l2.hit_latency_ns
+        completion = float(done.max())
+        n_wb = result.wb_idx.size
+        if result.fill_idx.size or n_wb:
+            # interleave eviction writebacks just before the fill of the
+            # access that evicted them, as the scalar loop does
+            keys = np.concatenate([result.wb_idx * 2,
+                                   result.fill_idx * 2 + 1])
+            addrs = np.concatenate([result.wb_addrs,
+                                    sector_addrs[result.fill_idx]])
+            times = np.concatenate([done[result.wb_idx],
+                                    done[result.fill_idx]])
+            writes = np.concatenate([
+                np.ones(n_wb, dtype=bool),
+                np.asarray(is_write, dtype=bool)[result.fill_idx],
+            ])
+            order = np.argsort(keys, kind="stable")
+            finishes = self.dram.access_batch(
+                addrs[order], sector_bytes, times[order], writes[order]
+            )
+            fills = (keys[order] & 1) == 1
+            if fills.any():
+                completion = max(completion, float(finishes[fills].max()))
         return completion
 
     def dram_tlb_timed_fetch(self, asid: int, vpn: int, now_ns: float) -> float:

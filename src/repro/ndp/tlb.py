@@ -33,14 +33,27 @@ class Translation:
 
 
 class PageTable:
-    """Per-ASID forward page table (vpn -> ppn)."""
+    """Per-ASID forward page table (vpn -> ppn).
 
-    def __init__(self, asid: int) -> None:
+    ``on_change`` (if given) fires whenever an *existing* translation is
+    replaced or removed — the events that can invalidate addresses someone
+    already translated.  Adding a fresh vpn is not a change in that sense,
+    so allocations never fire it; the device uses the callback to version
+    its translations for the execution trace cache.
+    """
+
+    def __init__(self, asid: int, on_change=None) -> None:
         self.asid = asid
         self._map: dict[int, Translation] = {}
+        self._on_change = on_change
 
     def map_page(self, vpn: int, ppn: int, writable: bool = True) -> None:
+        previous = self._map.get(vpn)
         self._map[vpn] = Translation(vpn=vpn, ppn=ppn, writable=writable)
+        if (previous is not None
+                and (previous.ppn != ppn or previous.writable != writable)
+                and self._on_change is not None):
+            self._on_change()
 
     def map_range(self, vaddr: int, paddr: int, size: int,
                   writable: bool = True) -> None:
@@ -63,7 +76,10 @@ class PageTable:
         return entry
 
     def unmap(self, vpn: int) -> bool:
-        return self._map.pop(vpn, None) is not None
+        removed = self._map.pop(vpn, None) is not None
+        if removed and self._on_change is not None:
+            self._on_change()
+        return removed
 
     def __len__(self) -> int:
         return len(self._map)

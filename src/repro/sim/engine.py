@@ -22,7 +22,68 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.errors import SimulationError
+
+
+def virtual_queue_finish(arrivals: np.ndarray, costs: np.ndarray,
+                         busy_until: float = 0.0) -> np.ndarray:
+    """Vectorized FIFO queue: finish times of ordered arrivals at one server.
+
+    Solves ``finish[i] = max(arrival[i], finish[i-1]) + cost[i]`` (with
+    ``finish[-1] = busy_until``) without a Python loop: writing
+    ``C[i] = sum(cost[:i+1])`` the recurrence unrolls to
+    ``finish[i] = C[i] + max(busy_until, max_{j<=i}(arrival[j] - C[j-1]))``,
+    which is one ``cumsum`` and one running max.  This is the bulk analogue
+    of calling :meth:`BandwidthServer.transfer` once per element.
+    """
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if arrivals.size == 0:
+        return arrivals.copy()
+    cum = np.cumsum(costs) if costs.ndim else np.arange(1, arrivals.size + 1) * costs
+    slack = arrivals - (cum - costs)
+    return cum + np.maximum(np.maximum.accumulate(slack), busy_until)
+
+
+def segmented_queue_finish(arrivals_plus_service: np.ndarray,
+                           chain_costs: np.ndarray,
+                           segment_ids: np.ndarray,
+                           segment_init: np.ndarray) -> np.ndarray:
+    """Max-plus queue recurrence solved independently per segment.
+
+    Elements must be grouped so each segment is contiguous and
+    ``segment_ids`` is nondecreasing (0..S-1).  Within a segment this solves
+
+        done[i] = max(arrivals_plus_service[i],
+                      done[i-1] + chain_costs[i]),   done[-1] = init[s]
+
+    which models a pipelined resource (a DRAM bank, a channel bus) whose
+    per-element completion depends on both its own arrival path and the
+    previous element's completion.  The running max is computed for all
+    segments at once by offsetting each segment into its own disjoint value
+    band before ``np.maximum.accumulate`` (segments are short-lived virtual
+    time windows, so the offset costs no precision that matters at ns
+    scale).
+    """
+    n = arrivals_plus_service.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    cum = np.cumsum(chain_costs)
+    starts = np.flatnonzero(np.diff(segment_ids, prepend=segment_ids[0] - 1))
+    base = np.zeros(n, dtype=np.float64)
+    base[starts] = cum[starts] - chain_costs[starts]
+    seg_base = np.maximum.accumulate(np.where(base > 0, base, 0.0))
+    # within-segment cumulative chain cost
+    local_cum = cum - seg_base
+    slack = arrivals_plus_service - local_cum
+    # fold each segment's initial state into its first element
+    slack[starts] = np.maximum(slack[starts], segment_init[segment_ids[starts]])
+    span = float(slack.max() - slack.min()) + 1.0
+    shifted = slack + segment_ids * span
+    running = np.maximum.accumulate(shifted) - segment_ids * span
+    return local_cum + running
 
 # Events are plain (time, seq, callback) tuples: tuple comparison in the
 # heap is much cheaper than a dataclass __lt__ on this hot path.
@@ -47,10 +108,16 @@ class Simulator:
         self.events_processed = 0
 
     def schedule(self, delay: float, callback: Callable[[], Any]) -> None:
-        """Schedule ``callback`` to fire ``delay`` ns after the current time."""
+        """Schedule ``callback`` to fire ``delay`` ns after the current time.
+
+        Hot path: a nonnegative delay added to ``now`` can never land in
+        the past, so the heap push is done directly with a single guard
+        instead of re-validating through :meth:`schedule_at`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self.schedule_at(self.now + delay, callback)
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        self._seq += 1
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
         """Schedule ``callback`` at an absolute timestamp."""
@@ -129,6 +196,22 @@ class IssueServer:
         self.ops_issued += 1
         return start
 
+    def service_batch(self, arrival_ns: float, count: int) -> float:
+        """Charge ``count`` operations arriving together at ``arrival_ns``.
+
+        Bulk analogue of ``count`` back-to-back :meth:`issue` calls (their
+        virtual-time advance telescopes to one multiply); returns the time
+        the last operation clears the resource.  Used by the batched
+        execution backend to occupy sub-core dispatch/FU servers with a
+        whole launch's instruction stream in O(1).
+        """
+        if count <= 0:
+            return max(arrival_ns, self._virtual_time)
+        start = arrival_ns if arrival_ns > self._virtual_time else self._virtual_time
+        self._virtual_time = start + count * self._cost
+        self.ops_issued += count
+        return self._virtual_time
+
     def next_free(self, arrival_ns: float) -> float:
         """Earliest start time for an op arriving at ``arrival_ns`` (no charge)."""
         return max(arrival_ns, self._virtual_time)
@@ -165,6 +248,24 @@ class BandwidthServer:
         self._busy_until = finish
         self.bytes_transferred += size_bytes
         return finish
+
+    def charge_batch(self, arrivals_ns: np.ndarray,
+                     size_bytes) -> np.ndarray:
+        """Charge an ordered batch of transfers; returns per-transfer finish.
+
+        ``size_bytes`` may be a scalar (uniform transfers) or an array.
+        Equivalent to calling :meth:`transfer` once per element, solved in
+        one vectorized pass via :func:`virtual_queue_finish`.
+        """
+        arrivals_ns = np.asarray(arrivals_ns, dtype=np.float64)
+        if arrivals_ns.size == 0:
+            return arrivals_ns.copy()
+        costs = np.asarray(size_bytes, dtype=np.float64) / self.bytes_per_ns
+        finishes = virtual_queue_finish(arrivals_ns, costs, self._busy_until)
+        self._busy_until = float(finishes[-1])
+        self.bytes_transferred += int(np.sum(size_bytes)) if np.ndim(
+            size_bytes) else int(size_bytes) * arrivals_ns.size
+        return finishes
 
     def occupancy_end(self) -> float:
         return self._busy_until

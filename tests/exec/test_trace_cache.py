@@ -1,0 +1,220 @@
+"""Cross-launch trace cache: hits, misses, invalidation, escape hatch.
+
+The cache may only ever change wall-clock time.  Every test therefore
+checks functional outputs alongside the hit/miss counters, and the
+timing test pins the cached path's ``runtime_ns`` to the uncached one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import NDPConfig, SystemConfig
+from repro.host.api import pack_args
+from repro.kernels.reduction import REDUCE_SUM_I64
+from repro.kernels.vecadd import VECADD
+from repro.workloads.base import make_platform
+
+N = 4096
+
+
+def _cache_stats(platform):
+    return (platform.stats.get("exec.trace_cache_hits"),
+            platform.stats.get("exec.trace_cache_misses"))
+
+
+def _setup_vecadd(platform, n=N, mult=3):
+    runtime = platform.runtime
+    a = (np.arange(n) * mult).astype(np.int64)
+    b = (np.arange(n)[::-1] * mult).astype(np.int64)
+    addr_a = runtime.alloc_array(a)
+    addr_b = runtime.alloc_array(b)
+    addr_c = runtime.alloc(a.nbytes)
+    kid = runtime.register_kernel(VECADD)
+    return runtime, kid, a, b, addr_a, addr_b, addr_c
+
+
+def _launch(runtime, kid, addr_a, nbytes, args):
+    handle = runtime.launch_kernel(kid, addr_a, addr_a + nbytes, args=args)
+    instance = runtime.device.controller.instances[handle.instance_id]
+    return instance
+
+
+class TestHitsAndMisses:
+    def test_repeat_launch_hits(self):
+        platform = make_platform(backend="batched")
+        runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(platform)
+        args = pack_args(addr_b, addr_c)
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        assert _cache_stats(platform) == (0, 1)
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        assert _cache_stats(platform) == (2, 1)
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, N), a + b)
+
+    def test_cached_runtime_matches_uncached(self, monkeypatch):
+        results = {}
+        for mode in ("1", "0"):
+            monkeypatch.setenv("REPRO_TRACE_CACHE", mode)
+            platform = make_platform(backend="batched")
+            runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(
+                platform)
+            args = pack_args(addr_b, addr_c)
+            _launch(runtime, kid, addr_a, a.nbytes, args)
+            second = _launch(runtime, kid, addr_a, a.nbytes, args)
+            results[mode] = (second.runtime_ns,
+                             runtime.read_array(addr_c, np.int64, N))
+        cached_ns, cached_out = results["1"]
+        uncached_ns, uncached_out = results["0"]
+        assert np.array_equal(cached_out, uncached_out)
+        assert cached_ns == pytest.approx(uncached_ns, rel=0.02)
+
+    def test_data_change_between_hits_reexecutes(self):
+        # a hit must re-run the functional replay: memory contents are not
+        # part of the key and may have changed between launches
+        platform = make_platform(backend="batched")
+        runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(platform)
+        args = pack_args(addr_b, addr_c)
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        b2 = b * 5
+        platform.device.physical.store_array(addr_b, b2)
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        assert _cache_stats(platform) == (1, 1)
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, N),
+                              a + b2)
+
+
+class TestInvalidation:
+    def test_changed_pool_shape_misses(self):
+        platform = make_platform(backend="batched")
+        runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(platform)
+        args = pack_args(addr_b, addr_c)
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        # half the pool: same kernel, different launch geometry
+        _launch(runtime, kid, addr_a, a.nbytes // 2, args)
+        assert _cache_stats(platform) == (0, 2)
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, N // 2),
+                              (a + b)[:N // 2])
+
+    def test_changed_args_miss(self):
+        platform = make_platform(backend="batched")
+        runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(platform)
+        addr_d = runtime.alloc(a.nbytes)
+        _launch(runtime, kid, addr_a, a.nbytes, pack_args(addr_b, addr_c))
+        _launch(runtime, kid, addr_a, a.nbytes, pack_args(addr_b, addr_d))
+        assert _cache_stats(platform) == (0, 2)
+        expected = a + b
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, N),
+                              expected)
+        assert np.array_equal(runtime.read_array(addr_d, np.int64, N),
+                              expected)
+
+    def test_changed_timing_config_uses_cold_cache(self):
+        # a different NDPConfig builds a different device, so its cache
+        # starts cold; outputs must match the default config bit for bit
+        outputs = {}
+        for label, system in (
+            ("default", None),
+            ("slow", SystemConfig(ndp=NDPConfig(freq_ghz=1.0,
+                                                backend="batched"))),
+        ):
+            platform = make_platform(system, backend="batched")
+            runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(
+                platform)
+            args = pack_args(addr_b, addr_c)
+            _launch(runtime, kid, addr_a, a.nbytes, args)
+            assert _cache_stats(platform) == (0, 1)
+            outputs[label] = runtime.read_array(addr_c, np.int64, N)
+        assert np.array_equal(outputs["default"], outputs["slow"])
+
+    def test_translation_change_invalidates(self):
+        platform = make_platform(backend="batched")
+        runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(platform)
+        args = pack_args(addr_b, addr_c)
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        device = platform.device
+        table = device.page_table(runtime.asid)
+        # remap some unrelated page: adding it is not a change, replacing
+        # its translation is
+        scratch_vpn = 0x7F000
+        table.map_page(scratch_vpn, scratch_vpn)
+        version = device.translation_version
+        table.map_page(scratch_vpn, scratch_vpn + 1)
+        assert device.translation_version == version + 1
+        _launch(runtime, kid, addr_a, a.nbytes, args)
+        assert _cache_stats(platform) == (0, 2)
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, N), a + b)
+
+    def test_divergent_control_flow_retraces(self):
+        # the cached replay follows live branch outcomes; when a uniform
+        # data-dependent branch flips between launches the recorded trace
+        # no longer matches and the launch must retrace, not mis-time
+        source = """
+        .body
+            ld      x4, 0(x3)        // flag address
+            ld      x5, 0(x4)        // uniform flag value
+            beqz    x5, slow
+            li      x7, 111
+            sd      x7, 0(x1)
+            ret
+        slow:
+            li      x7, 222
+            li      x8, 1
+            add     x7, x7, x8
+            sd      x7, 0(x1)
+            ret
+        """
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        flag_addr = runtime.alloc(8)
+        platform.device.physical.write_i64(flag_addr, 1)
+        pool = runtime.alloc(N)
+        kid = runtime.register_kernel(source)
+        args = pack_args(flag_addr)
+        runtime.launch_kernel(kid, pool, pool + N, args=args)
+        out = runtime.read_array(pool, np.int64, N // 8)
+        assert np.all(out[::4] == 111)
+        platform.device.physical.write_i64(flag_addr, 0)
+        runtime.launch_kernel(kid, pool, pool + N, args=args)
+        out = runtime.read_array(pool, np.int64, N // 8)
+        assert np.all(out[::4] == 223)
+        # the flipped branch is a retrace, not a hit
+        assert _cache_stats(platform) == (0, 2)
+
+
+class TestBypass:
+    def test_fallback_kernels_bypass_cache(self):
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n = 2048
+        values = np.arange(n, dtype=np.int64)
+        addr = runtime.alloc_array(values)
+        out = runtime.alloc(8)
+        kid = runtime.register_kernel(REDUCE_SUM_I64, scratchpad_bytes=64)
+        for _ in range(2):
+            runtime.launch_kernel(kid, addr, addr + n * 8,
+                                  args=pack_args(out))
+        assert runtime.read_array(out, np.int64, 1)[0] == 2 * values.sum()
+        # interpreter-fallback launches never touch the trace cache
+        assert _cache_stats(platform) == (0, 0)
+        assert platform.stats.get("exec.batched_fallbacks") == 2
+
+    def test_env_var_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        platform = make_platform(backend="batched")
+        runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(platform)
+        args = pack_args(addr_b, addr_c)
+        for _ in range(3):
+            _launch(runtime, kid, addr_a, a.nbytes, args)
+        assert not platform.device.backend.trace_cache.enabled
+        assert _cache_stats(platform) == (0, 0)
+        assert platform.stats.get("exec.batched_launches") == 3
+        assert np.array_equal(runtime.read_array(addr_c, np.int64, N), a + b)
+
+    def test_capacity_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_CAPACITY", "2")
+        platform = make_platform(backend="batched")
+        runtime, kid, a, b, addr_a, addr_b, addr_c = _setup_vecadd(platform)
+        for offset in range(4):
+            args = pack_args(addr_b, addr_c)
+            _launch(runtime, kid, addr_a, a.nbytes - 32 * offset, args)
+        assert len(platform.device.backend.trace_cache) == 2
