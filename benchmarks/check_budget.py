@@ -30,6 +30,8 @@ TRACKED_FIELDS = (
     "cluster_point.x1.wall_seconds",
     "cluster_point.x2.wall_seconds",
     "traffic_point.wall_seconds",
+    "serving_point.unbatched.wall_seconds",
+    "serving_point.batched.wall_seconds",
 )
 
 DEFAULT_FACTOR = 2.0

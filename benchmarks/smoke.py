@@ -2,14 +2,17 @@
 
 Runs the Fig 5 offload-timeline model, one Fig 10a OLAP point (TPC-H
 Q6, "small" scale) on *both* execution backends, one cluster point
-(2-device interleaved vecadd vs 1 device), and one repeated-launch
+(2-device interleaved vecadd vs 1 device), one repeated-launch
 traffic point (100 open-loop vecadd requests through the cluster — the
-trace cache's home turf), then writes ``BENCH_smoke.json`` with simulated
-results, wall-clock times and trace-cache hit/miss counters.  CI runs
-this on every push so the interpreter/batched performance gap, the
-scale-out speedup, and any regression in either are recorded from PR to
-PR; ``benchmarks/check_budget.py`` turns wall-clock regressions into CI
-failures.
+trace cache's home turf), and one serving point (two tenants through the
+SLO-aware serving engine, dynamic batching vs unbatched FIFO), then
+writes ``BENCH_smoke.json`` with simulated results, wall-clock times and
+trace-cache hit/miss counters, plus ``BENCH_serving_tenants.json`` with
+the per-tenant latency summary CI uploads as an artifact.  CI runs this
+on every push so the interpreter/batched performance gap, the scale-out
+speedup, the batching gains, and any regression in them are recorded
+from PR to PR; ``benchmarks/check_budget.py`` turns wall-clock
+regressions into CI failures.
 
 Usage::
 
@@ -30,6 +33,7 @@ from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
 from repro.host.api import pack_args
 from repro.kernels.vecadd import VECADD
+from repro.serve import ArrivalSpec, BatchPolicy, ServingEngine, TenantSpec
 from repro.workloads import olap
 from repro.workloads.base import make_platform, scale
 
@@ -42,6 +46,14 @@ CLUSTER_SMOKE_ELEMENTS = 1 << 18
 
 #: Traffic smoke point: open-loop requests replayed against the cluster.
 TRAFFIC_SMOKE_REQUESTS = 100
+
+#: Serving smoke point: two tenants whose per-slice launch shapes (2 x 96)
+#: overflow the per-device trace cache (LRU 64) when dispatched one by
+#: one — dynamic batching fuses 8 slices per launch, collapsing the shape
+#: population so the cache hits again.
+SERVING_SMOKE_REQUESTS = 192      # per tenant (2 cycles over the slices)
+SERVING_SMOKE_SLICES = 96
+SERVING_SMOKE_ELEMENTS = 1 << 10  # per slice
 
 
 def bench_fig5() -> dict:
@@ -147,6 +159,80 @@ def bench_traffic_point(requests: int = TRAFFIC_SMOKE_REQUESTS) -> dict:
     }
 
 
+def _run_serving(scheduler: str, max_batch: int) -> tuple:
+    platform = make_cluster_platform(num_devices=2, placement="interleaved",
+                                     backend="batched")
+    tenants = [
+        TenantSpec(name, "vecadd",
+                   arrivals=ArrivalSpec("poisson", rate_rps=1e7,
+                                        requests=SERVING_SMOKE_REQUESTS),
+                   size=SERVING_SMOKE_ELEMENTS,
+                   slices=SERVING_SMOKE_SLICES)
+        for name in ("web", "analytics")
+    ]
+    engine = ServingEngine(
+        platform, tenants, scheduler=scheduler,
+        batch=BatchPolicy(max_batch=max_batch, max_wait_ns=2_000.0),
+        # windows finer than the ~30 µs run, so the peak window rate
+        # measures this mode instead of averaging the whole run
+        stats_window_ns=5_000.0,
+    )
+    start = time.perf_counter()
+    report = engine.run()
+    wall = time.perf_counter() - start
+    return report, wall, engine.result_snapshots()
+
+
+def bench_serving_point() -> dict:
+    """Dynamic batching vs unbatched FIFO on the same two-tenant load.
+
+    The batched run must beat the unbatched baseline on throughput *and*
+    trace-cache hit rate while producing byte-identical tenant results —
+    the acceptance gates below enforce all three.
+    """
+    out: dict = {
+        "requests_per_tenant": SERVING_SMOKE_REQUESTS,
+        "slices": SERVING_SMOKE_SLICES,
+        "elements": SERVING_SMOKE_ELEMENTS,
+    }
+    snapshots = {}
+    for label, scheduler, max_batch in (("unbatched", "fifo", 1),
+                                        ("batched", "wfq", 8)):
+        report, wall, snaps = _run_serving(scheduler, max_batch)
+        snapshots[label] = snaps
+        out[label] = {
+            "scheduler": scheduler,
+            "max_batch": max_batch,
+            "wall_seconds": wall,
+            "served": report.served,
+            "correct": report.correct,
+            "launches": report.launches,
+            "mean_batch": report.mean_batch,
+            "p50_ns": report.p50_ns,
+            "p99_ns": report.p99_ns,
+            "throughput_rps": report.throughput_rps,
+            "peak_window_rps": report.timeline.peak_rate_suffix_per_s(
+                ".served"
+            ),
+            "trace_cache_hits": report.trace_cache_hits,
+            "trace_cache_misses": report.trace_cache_misses,
+            "trace_cache_hit_rate": report.trace_cache_hit_rate,
+            "tenants": {
+                t.name: {"served": t.served, "p50_ns": t.p50_ns,
+                         "p95_ns": t.p95_ns, "p99_ns": t.p99_ns,
+                         "goodput_rps": t.goodput_rps,
+                         "mean_batch": t.mean_batch}
+                for t in report.tenants
+            },
+        }
+    out["results_identical"] = snapshots["unbatched"] == snapshots["batched"]
+    out["throughput_gain"] = (out["batched"]["throughput_rps"]
+                              / out["unbatched"]["throughput_rps"])
+    out["hit_rate_gain"] = (out["batched"]["trace_cache_hit_rate"]
+                            - out["unbatched"]["trace_cache_hit_rate"])
+    return out
+
+
 def main(out_path: str = "BENCH_smoke.json") -> dict:
     payload = {
         "python": platform_mod.python_version(),
@@ -154,6 +240,7 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         "fig10a_point": bench_fig10a_point(),
         "cluster_point": bench_cluster_point(),
         "traffic_point": bench_traffic_point(),
+        "serving_point": bench_serving_point(),
     }
     point = payload["fig10a_point"]
     with open(out_path, "w") as fh:
@@ -161,7 +248,16 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         fh.write("\n")
     cluster = payload["cluster_point"]
     traffic = payload["traffic_point"]
-    print(f"wrote {out_path}")
+    serving = payload["serving_point"]
+    # per-tenant latency summary, uploaded as its own CI artifact
+    tenant_summary = {
+        mode: payload["serving_point"][mode]["tenants"]
+        for mode in ("unbatched", "batched")
+    }
+    with open("BENCH_serving_tenants.json", "w") as fh:
+        json.dump(tenant_summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path} and BENCH_serving_tenants.json")
     print(f"  fig10a {point['query']}@{point['scale']}: "
           f"interpreter {point['interpreter']['wall_seconds']:.2f}s, "
           f"batched {point['batched']['wall_seconds']:.2f}s "
@@ -175,6 +271,12 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"p95 {traffic['p95_ns']:.0f} ns, trace cache "
           f"{traffic['trace_cache_hits']:.0f} hits / "
           f"{traffic['trace_cache_misses']:.0f} misses")
+    print(f"  serving 2x{serving['requests_per_tenant']} requests: "
+          f"batching {serving['throughput_gain']:.2f}x throughput, "
+          f"cache hit rate "
+          f"{serving['unbatched']['trace_cache_hit_rate']:.2f} -> "
+          f"{serving['batched']['trace_cache_hit_rate']:.2f}, "
+          f"results identical: {serving['results_identical']}")
     if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
         raise SystemExit("smoke benchmark produced incorrect results")
     if not (cluster["x1"]["correct"] and cluster["x2"]["correct"]):
@@ -191,6 +293,23 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
             "traffic smoke point stopped hitting the trace cache "
             f"({traffic['trace_cache_hits']:.0f} hits / "
             f"{traffic['trace_cache_misses']:.0f} misses)"
+        )
+    if not (serving["unbatched"]["correct"] and serving["batched"]["correct"]):
+        raise SystemExit("serving smoke point produced incorrect results")
+    if not serving["results_identical"]:
+        raise SystemExit(
+            "dynamic batching changed per-request results in the serving "
+            "smoke point"
+        )
+    if serving["throughput_gain"] < 1.1:
+        raise SystemExit(
+            f"dynamic batching lost its throughput edge "
+            f"({serving['throughput_gain']:.2f}x)"
+        )
+    if serving["hit_rate_gain"] < 0.2:
+        raise SystemExit(
+            f"dynamic batching lost its trace-cache hit-rate edge "
+            f"(+{serving['hit_rate_gain']:.2f})"
         )
     return payload
 

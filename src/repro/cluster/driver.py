@@ -37,20 +37,18 @@ from repro.host.api import pack_args
 from repro.kernels.kvstore import KVS_GET
 from repro.kernels.olap import EVAL_RANGE_I32
 from repro.kernels.vecadd import VECADD
+from repro.serve.arrivals import ArrivalSpec, PoissonArrivals, stream_rng
+from repro.serve.engine import HOST_DISPATCH_NS
 from repro.sim.stats import Distribution
 from repro.workloads import kvstore
-from repro.workloads.base import rng
 
 
 def _stream_salt(name: str) -> int:
-    """Deterministic per-stream RNG salt (``hash()`` is process-randomized)."""
+    """Deterministic per-stream data salt (``hash()`` is process-randomized)."""
     return zlib.crc32(name.encode()) % 8192
 
 #: Supported request kinds.
 STREAM_KINDS = ("vecadd", "olap", "kvstore")
-
-#: Host-side per-request compute (hashing, dispatch) before the offload.
-HOST_DISPATCH_NS = 150.0
 
 
 @dataclass(frozen=True)
@@ -190,13 +188,13 @@ class _Stream:
     """Runtime state of one tenant: data in HDM plus request factories."""
 
     def __init__(self, platform: ClusterPlatform, spec: StreamSpec,
-                 salt: int) -> None:
+                 seed: int) -> None:
         self.spec = spec
         self.runtime = platform.runtime
         self.report = StreamReport(name=spec.name, kind=spec.kind,
                                    offered_rps=spec.rate_rps)
-        self.salt = salt + _stream_salt(spec.name)
-        self.gen = rng(self.salt)
+        self.salt = seed + _stream_salt(spec.name)
+        self.gen = stream_rng(seed, spec.name)
         getattr(self, f"_setup_{spec.kind}")()
 
     # -- per-kind data setup (functional, like single-device workloads) ----
@@ -331,7 +329,14 @@ class _Stream:
 
 
 class TrafficDriver:
-    """Replays concurrent open-loop tenant streams against a cluster."""
+    """Replays concurrent open-loop tenant streams against a cluster.
+
+    Every random draw (stream data and Poisson arrivals) comes from a
+    :class:`numpy.random.Generator` derived from ``ClusterConfig.seed``
+    plus the stream name (see :func:`repro.serve.arrivals.stream_rng`),
+    so a traffic run reproduces bit-for-bit across processes; ``salt``
+    offsets the whole run for explicit replications.
+    """
 
     def __init__(self, platform: ClusterPlatform,
                  specs: list[StreamSpec], salt: int = 0) -> None:
@@ -342,7 +347,8 @@ class TrafficDriver:
             raise ConfigError(f"duplicate stream names: {names}")
         self.platform = platform
         self.sim = platform.sim
-        self.streams = [_Stream(platform, spec, salt) for spec in specs]
+        self.seed = platform.runtime.cluster_config.seed + salt
+        self.streams = [_Stream(platform, spec, self.seed) for spec in specs]
 
     def run(self) -> TrafficReport:
         """Schedule every arrival, drain the simulator, summarize."""
@@ -358,10 +364,13 @@ class TrafficDriver:
         epoch = self.sim.now   # setup (registration) happened before this
         for stream in self.streams:
             spec = stream.spec
-            gen = rng(0xD21 + _stream_salt(spec.name))
-            arrivals = epoch + np.cumsum(
-                gen.exponential(spec.interarrival_ns, spec.requests)
+            # one source of truth for arrival generation: repro.serve
+            process = PoissonArrivals(
+                ArrivalSpec(process="poisson", rate_rps=spec.rate_rps,
+                            requests=spec.requests),
+                stream_rng(self.seed, spec.name + "#arrivals"),
             )
+            arrivals = process.initial(epoch)
             first_arrival = min(first_arrival, float(arrivals[0]))
             for index, arrival in enumerate(arrivals):
                 arrival = float(arrival) + HOST_DISPATCH_NS

@@ -300,6 +300,10 @@ class ClusterConfig:
     placement: str = "interleaved"
     shard_bytes: int = 0
     scheduler: str = "locality"
+    #: Root seed for every per-stream random generator (traffic arrivals,
+    #: tenant data) so cluster traffic and serving runs are reproducible
+    #: bit-for-bit across processes; see repro.serve.arrivals.stream_rng.
+    seed: int = 0xC0FFEE
 
     def __post_init__(self) -> None:
         # Lazy imports: placement/scheduler live above config in the
@@ -318,6 +322,8 @@ class ClusterConfig:
                                 source="ClusterConfig.scheduler")
         if self.shard_bytes < 0:
             raise ConfigError("shard_bytes must be >= 0 (0 = auto)")
+        if self.seed < 0:
+            raise ConfigError("cluster seed must be >= 0")
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.experiments.fig13 import (
 from repro.experiments.fig14 import run_fig14a, run_fig14b
 from repro.experiments.fig15 import run_fig15_gpu, run_fig15_olap
 from repro.experiments.scaling import run_policy_matrix, run_scaling
+from repro.experiments.serving import run_serving, run_serving_autoscale
 
 EXPERIMENTS = {
     "fig1a": run_fig1a,
@@ -48,6 +49,8 @@ EXPERIMENTS = {
     "instr-savings": static_instruction_savings,
     "scaling": run_scaling,
     "scaling-policies": run_policy_matrix,
+    "serving": run_serving,
+    "serving-autoscale": run_serving_autoscale,
 }
 
 __all__ = [

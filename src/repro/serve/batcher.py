@@ -1,0 +1,125 @@
+"""Dynamic batching: coalesce compatible requests into one cluster launch.
+
+The M2NDP kernels the serving tiers run (VectorAdd, OLAP column scans)
+compute every derived address as ``argument_base + f(x2)`` with ``x2``
+relative to the launch's pool base, so two requests over *adjacent*
+working-set slices are exactly equivalent to one launch spanning both
+slices whose arguments point at the first slice — merged launches are
+byte-identical to dispatching the requests one by one.  The batcher
+exploits that under a classic **max-batch / max-wait** policy:
+
+* up to ``max_batch`` queue-head requests whose slice ranges chain
+  contiguously (or duplicate a slice already in the run — idempotent
+  re-computation) fuse into a single logical launch;
+* a lone head request may be *held* up to ``max_wait_ns`` after arrival
+  waiting for batchmates, but never longer, and never when the stream has
+  no arrivals left to wait for.
+
+Beyond amortizing the per-launch overheads (M2func fan-out, host
+dispatch), merging collapses many distinct per-slice launch shapes into a
+few wide ones, which is precisely what the cross-launch trace cache
+(:mod:`repro.exec.trace_cache`) wants: a tenant cycling through more
+slices than the cache holds thrashes it unbatched, and hits on every
+launch once batched (measured by the serving smoke point).
+
+Requests whose workload is not batchable (KVStore GETs — one µthread
+walking one bucket chain, every request a different pool region and key)
+always dispatch alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.serve.qos import Request, RequestQueue
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Max-batch / max-wait coalescing knobs (``max_batch=1`` disables)."""
+
+    max_batch: int = 8
+    max_wait_ns: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if self.max_wait_ns < 0:
+            raise ConfigError("max_wait_ns must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_batch > 1
+
+
+@dataclass
+class Batch:
+    """One dispatchable unit: requests covering slices [slice_lo, slice_hi)."""
+
+    tenant: str
+    requests: list[Request]
+    slice_lo: int
+    slice_hi: int
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class DynamicBatcher:
+    """Forms batches from a tenant's queue head (see module docstring)."""
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+
+    def preview(self, queue: RequestQueue, tenant: str,
+                batchable: bool) -> list[Request]:
+        """The mergeable head run that :meth:`take` would dispatch now."""
+        limit = self.policy.max_batch if batchable else 1
+        head = queue.head_run(tenant, limit)
+        if not head:
+            return []
+        run = [head[0]]
+        lo, hi = head[0].slice_lo, head[0].slice_hi
+        for request in head[1:]:
+            if request.slice_lo == hi:                      # extends the run
+                hi = request.slice_hi
+            elif lo <= request.slice_lo and request.slice_hi <= hi:
+                pass                                        # duplicate slice
+            else:
+                break
+            run.append(request)
+        return run
+
+    def should_hold(self, queue: RequestQueue, tenant: str, batchable: bool,
+                    now_ns: float, more_arrivals: bool) -> float | None:
+        """Hold the tenant's head for batchmates?  Returns the flush time.
+
+        ``None`` means dispatch now: batching disabled, the run is already
+        full, the head has aged ``max_wait_ns``, or the stream has no
+        future arrivals that could ever join the batch.
+        """
+        if not (self.policy.enabled and batchable and self.policy.max_wait_ns):
+            return None
+        if not more_arrivals:
+            return None
+        run = self.preview(queue, tenant, batchable)
+        if not run or len(run) >= self.policy.max_batch:
+            return None
+        flush_at = run[0].arrival_ns + self.policy.max_wait_ns
+        return flush_at if flush_at > now_ns else None
+
+    def take(self, queue: RequestQueue, tenant: str,
+             batchable: bool) -> Batch:
+        """Remove and return the head batch for ``tenant``."""
+        run = self.preview(queue, tenant, batchable)
+        if not run:
+            raise ConfigError(f"no queued requests for tenant {tenant!r}")
+        taken = queue.pop_run(tenant, len(run))
+        return Batch(
+            tenant=tenant,
+            requests=taken,
+            slice_lo=min(r.slice_lo for r in taken),
+            slice_hi=max(r.slice_hi for r in taken),
+        )

@@ -1,0 +1,417 @@
+"""The serving engine: SLO-aware multi-tenant frontend over a cluster.
+
+Event flow, all in simulated time on the cluster's shared simulator:
+
+1. **Arrivals** — each tenant's :class:`ArrivalProcess` (seeded from
+   ``ClusterConfig.seed``) schedules request arrivals; closed-loop
+   streams regenerate from completion feedback.
+2. **Admission** — the :class:`AdmissionController` sheds arrivals that
+   exceed the tenant's token-bucket rate contract or queue-depth cap.
+3. **Queueing + scheduling** — admitted requests queue per tenant
+   (deadline-aware EDF order) and the :class:`QoSScheduler` picks the
+   next tenant to serve (weighted-fair with latency-class priority and
+   batch-class aging; plain FIFO as the baseline).
+4. **Batching** — the :class:`DynamicBatcher` fuses contiguous-slice
+   requests into one cluster launch under max-batch/max-wait, holding a
+   lone head briefly when batchmates may still arrive.
+5. **Dispatch** — at most ``active_devices x inflight_per_device``
+   launches are in flight; the :class:`Autoscaler` hook moves the active
+   device count against windowed utilization.
+6. **Accounting** — :class:`ServingStats` streams per-tenant latency
+   distributions, SLO attainment, shed counts and windowed throughput
+   into the cluster's :class:`~repro.sim.stats.StatsRegistry`.
+
+Environment knobs (validated at construction, explicit arguments win):
+``REPRO_SERVE_SCHEDULER`` (``fifo``/``wfq``), ``REPRO_SERVE_MAX_BATCH``
+(int >= 1; 1 disables batching) and ``REPRO_SERVE_MAX_WAIT_NS`` (float
+>= 0).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Callable
+
+from repro.cluster.runtime import ClusterPlatform
+from repro.errors import ConfigError
+from repro.serve.admission import ADMIT, AdmissionController
+from repro.serve.arrivals import make_arrival_process, stream_rng
+from repro.serve.autoscaler import AutoscalePolicy, Autoscaler
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.qos import (
+    QoSScheduler,
+    Request,
+    RequestQueue,
+    validate_serve_scheduler,
+)
+from repro.serve.stats import ServingReport, ServingStats
+from repro.serve.tenant import TenantSpec, TenantWorkload
+
+#: Host-side per-launch compute (request parsing, dispatch) — paid once
+#: per *launch*, so batching amortizes it across the batch.
+HOST_DISPATCH_NS = 150.0
+
+#: Default concurrent launches per active device.
+DEFAULT_INFLIGHT_PER_DEVICE = 4
+
+
+def resolve_serve_scheduler(explicit: str | None) -> str:
+    """Explicit argument > REPRO_SERVE_SCHEDULER env > default (wfq)."""
+    if explicit is not None:
+        return validate_serve_scheduler(explicit, source="scheduler argument")
+    env = os.environ.get("REPRO_SERVE_SCHEDULER")
+    if env is not None:
+        return validate_serve_scheduler(
+            env, source="REPRO_SERVE_SCHEDULER environment variable"
+        )
+    return "wfq"
+
+
+def resolve_batch_policy(explicit: BatchPolicy | None) -> BatchPolicy:
+    """Explicit policy > REPRO_SERVE_MAX_BATCH / _MAX_WAIT_NS env > default."""
+    if explicit is not None:
+        return explicit
+    kwargs = {}
+    raw = os.environ.get("REPRO_SERVE_MAX_BATCH")
+    if raw is not None:
+        try:
+            kwargs["max_batch"] = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_SERVE_MAX_BATCH must be an integer, got {raw!r}"
+            ) from None
+    raw = os.environ.get("REPRO_SERVE_MAX_WAIT_NS")
+    if raw is not None:
+        try:
+            kwargs["max_wait_ns"] = float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_SERVE_MAX_WAIT_NS must be a number, got {raw!r}"
+            ) from None
+    return BatchPolicy(**kwargs)
+
+
+class _TenantState:
+    """Engine-side runtime state for one tenant."""
+
+    def __init__(self, platform: ClusterPlatform, spec: TenantSpec,
+                 seed: int) -> None:
+        self.spec = spec
+        self.workload = TenantWorkload(platform, spec, seed)
+        self.process = make_arrival_process(
+            spec.arrivals, stream_rng(seed, spec.name + "#arrivals")
+        )
+        self.issued = 0               # next request index
+
+    @property
+    def more_arrivals(self) -> bool:
+        """Will further arrival events fire after now?  (``process.exhausted``
+        only says the open-loop times are all *generated* — they may still
+        be future simulator events a held batch can wait for.)"""
+        return self.issued < self.spec.total_requests
+
+
+class ServingEngine:
+    """Runs tenant traffic against a :class:`ClusterRuntime` to completion."""
+
+    def __init__(
+        self,
+        platform: ClusterPlatform,
+        tenants: list[TenantSpec],
+        scheduler: str | None = None,
+        batch: BatchPolicy | None = None,
+        autoscale: AutoscalePolicy | None = None,
+        inflight_per_device: int = DEFAULT_INFLIGHT_PER_DEVICE,
+        starvation_ns: float | None = None,
+        stats_window_ns: float | None = None,
+    ) -> None:
+        if not tenants:
+            raise ConfigError("serving engine needs at least one tenant")
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names: {names}")
+        if inflight_per_device <= 0:
+            raise ConfigError("inflight_per_device must be positive")
+
+        self.platform = platform
+        self.sim = platform.sim
+        self.runtime = platform.runtime
+        seed = self.runtime.cluster_config.seed
+
+        policy = resolve_serve_scheduler(scheduler)
+        scheduler_kwargs = {"policy": policy,
+                            "weights": {s.name: s.weight for s in tenants}}
+        if starvation_ns is not None:
+            scheduler_kwargs["starvation_ns"] = starvation_ns
+        self.scheduler = QoSScheduler(**scheduler_kwargs)
+        self.batcher = DynamicBatcher(resolve_batch_policy(batch))
+        self.autoscale_policy = (autoscale if autoscale is not None
+                                 else AutoscalePolicy())
+        self.autoscaler = Autoscaler(self.autoscale_policy,
+                                     self.runtime.num_devices)
+        # the engine runs one periodic tick driving both the utilization
+        # observations and the stats-timeline windows; stats_window_ns
+        # overrides its cadence (e.g. windows finer than the run span)
+        # without having to touch the autoscale policy
+        if stats_window_ns is not None and stats_window_ns <= 0:
+            raise ConfigError("stats_window_ns must be positive")
+        self._tick_interval = (stats_window_ns if stats_window_ns is not None
+                               else self.autoscale_policy.interval_ns)
+        self.inflight_per_device = inflight_per_device
+        self.admission = AdmissionController()
+        for spec in tenants:
+            self.admission.configure(
+                spec.name, rate_limit_rps=spec.rate_limit_rps,
+                burst=spec.burst, max_queue_depth=spec.max_queue_depth,
+            )
+
+        self.queue = RequestQueue()
+        self.stats = ServingStats(self.runtime.stats, tenants)
+        # Workload setup below steps the simulator (M2func registration);
+        # tenant states must be built before arrivals are scheduled.
+        self.tenants = {spec.name: _TenantState(platform, spec, seed)
+                        for spec in tenants}
+
+        self._seq = 0                 # global admission order
+        self._inflight = 0
+        self._busy_integral = 0.0     # inflight x time, for utilization
+        self._last_busy_ns = 0.0
+        self._last_tick_ns = 0.0
+        self._tick_scheduled = False
+        self._flush_at: dict[str, float] = {}
+        self._ran = False
+        # the platform's counters are cumulative; report this run's delta
+        self._cache_base = (
+            self.platform.stats.get("exec.trace_cache_hits"),
+            self.platform.stats.get("exec.trace_cache_misses"),
+        )
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Concurrent-launch cap under the current active device set."""
+        return self.autoscaler.active * self.inflight_per_device
+
+    def _charge_busy(self, now_ns: float) -> None:
+        self._busy_integral += self._inflight * (now_ns - self._last_busy_ns)
+        self._last_busy_ns = now_ns
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ServingReport:
+        """Schedule all arrivals, drain the simulator, return the report."""
+        if self._ran:
+            raise ConfigError("a ServingEngine instance runs once")
+        self._ran = True
+        epoch = self.sim.now
+        self._last_busy_ns = epoch
+        self._last_tick_ns = epoch
+        self.stats.start(epoch)
+        for state in self.tenants.values():
+            for when in state.process.initial(epoch):
+                self.sim.schedule_at(
+                    float(when),
+                    (lambda s=state: self._arrive(s)),
+                )
+        self._ensure_tick()
+        self.sim.run()
+        return self._finish()
+
+    def _arrive(self, state: _TenantState) -> None:
+        now = self.sim.now
+        spec = state.spec
+        index = state.issued
+        state.issued += 1
+        self.stats.offered(spec.name, now)
+        verdict = self.admission.admit(spec.name, now,
+                                       self.queue.depth(spec.name))
+        if verdict != ADMIT:
+            self.stats.shed(spec.name, verdict)
+            self._feedback(state, now)
+            return
+        slice_lo, slice_hi = state.workload.slice_of(index)
+        deadline = (now + spec.slo_ns if math.isfinite(spec.slo_ns)
+                    else math.inf)
+        request = Request(
+            tenant=spec.name, index=index, seq=self._seq, arrival_ns=now,
+            qos_class=spec.qos_class, deadline_ns=deadline,
+            slice_lo=slice_lo, slice_hi=slice_hi,
+        )
+        self._seq += 1
+        self.queue.push(request)
+        self._ensure_tick()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _eligible_heads(self, now: float) -> dict[str, Request]:
+        """Head requests of tenants ready to dispatch (hold-aware)."""
+        heads: dict[str, Request] = {}
+        for tenant in self.queue.tenants():
+            state = self.tenants[tenant]
+            self._expire_heads(state, now)
+            if not self.queue.depth(tenant):
+                continue
+            flush_at = self.batcher.should_hold(
+                self.queue, tenant, state.workload.batchable, now,
+                more_arrivals=state.more_arrivals,
+            )
+            if flush_at is not None:
+                self._schedule_flush(tenant, flush_at)
+                continue
+            heads[tenant] = self.queue.peek(tenant)
+        return heads
+
+    def _expire_heads(self, state: _TenantState, now: float) -> None:
+        """Drop queue-head requests already past their deadline."""
+        if not state.spec.drop_expired:
+            return
+        tenant = state.spec.name
+        while (self.queue.depth(tenant)
+               and self.queue.peek(tenant).deadline_ns < now):
+            self.queue.pop(tenant)
+            self.stats.expired(tenant)
+            self._feedback(state, now)
+
+    def _pump(self) -> None:
+        now = self.sim.now
+        while self._inflight < self.capacity:
+            heads = self._eligible_heads(now)
+            if not heads:
+                break
+            tenant = self.scheduler.pick(heads, now)
+            state = self.tenants[tenant]
+            batch = self.batcher.take(self.queue, tenant,
+                                      state.workload.batchable)
+            self.scheduler.charge(tenant, float(batch.size))
+            plan = state.workload.plan(batch.requests)
+            self.stats.launched(tenant, batch.size)
+            self._charge_busy(now)
+            self._inflight += 1
+            self.runtime.launch_async(
+                plan.kernel_id, plan.base, plan.bound, args=plan.args,
+                stride=plan.stride, at_ns=now + HOST_DISPATCH_NS,
+                on_complete=self._make_done(state, batch.requests),
+            )
+
+    def _make_done(self, state: _TenantState,
+                   requests: list[Request]) -> Callable:
+        def done(handle) -> None:
+            when = handle.complete_ns if handle.complete_ns is not None \
+                else self.sim.now
+            self._charge_busy(when)
+            self._inflight -= 1
+            for request in requests:
+                request.complete_ns = when
+                self.stats.served(
+                    state.spec.name, when - request.arrival_ns, when,
+                    within_slo=when <= request.deadline_ns,
+                )
+                self._feedback(state, when)
+            self._pump()
+        return done
+
+    def _feedback(self, state: _TenantState, when: float) -> None:
+        """Terminal outcome feedback: closed loops issue their next request."""
+        next_arrival = state.process.on_completion(when)
+        if next_arrival is not None:
+            self.sim.schedule_at(
+                max(float(next_arrival), self.sim.now),
+                (lambda s=state: self._arrive(s)),
+            )
+
+    # ------------------------------------------------------------------
+    # timers (batch flush + autoscale / stats windows)
+    # ------------------------------------------------------------------
+
+    def _schedule_flush(self, tenant: str, flush_at: float) -> None:
+        if self._flush_at.get(tenant) == flush_at:
+            return
+        self._flush_at[tenant] = flush_at
+
+        def flush() -> None:
+            if self._flush_at.get(tenant) == flush_at:
+                del self._flush_at[tenant]
+            self._pump()
+
+        self.sim.schedule_at(flush_at, flush)
+
+    def _ensure_tick(self) -> None:
+        if self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+        self.sim.schedule(self._tick_interval, self._tick)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        self._charge_busy(now)
+        # utilization over the *actual* span since the last tick — the
+        # chain lapses while the system idles, and a restarted tick must
+        # average the idle gap in, not assume one nominal interval
+        span = now - self._last_tick_ns
+        self._last_tick_ns = now
+        utilization = (self._busy_integral / (self.capacity * span)
+                       if self.capacity and span > 0 else 0.0)
+        self._busy_integral = 0.0
+        self.autoscaler.observe(now, min(utilization, 1.0))
+        self.stats.mark_window(now)
+        self._tick_scheduled = False
+        if self.queue.total or self._inflight or any(
+                s.more_arrivals for s in self.tenants.values()):
+            self._ensure_tick()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # wrap-up
+    # ------------------------------------------------------------------
+
+    def _finish(self) -> ServingReport:
+        now = self.sim.now
+        if self.queue.total or self._inflight:
+            raise ConfigError(
+                "serving run drained with work still queued or in flight"
+            )
+        self.stats.mark_window(now)
+        cluster_stats = self.platform.stats
+        reports = []
+        for state in self.tenants.values():
+            report = self.stats.reports[state.spec.name]
+            report.correct = state.workload.verify()
+            reports.append(report)
+        span = max(
+            self.stats.last_completion_ns - self.stats.first_arrival_ns, 0.0
+        ) if self.stats.aggregate.count else 0.0
+        return ServingReport(
+            tenants=reports,
+            span_ns=span,
+            aggregate=self.stats.aggregate,
+            timeline=self.stats.timeline,
+            active_device_series=list(self.autoscaler.series.points),
+            scale_ups=self.autoscaler.scale_ups,
+            scale_downs=self.autoscaler.scale_downs,
+            trace_cache_hits=(cluster_stats.get("exec.trace_cache_hits")
+                              - self._cache_base[0]),
+            trace_cache_misses=(cluster_stats.get("exec.trace_cache_misses")
+                                - self._cache_base[1]),
+        )
+
+    # ------------------------------------------------------------------
+
+    def result_snapshots(self) -> dict[str, bytes]:
+        """Per-tenant result-region bytes (cross-run identity checks)."""
+        return {name: state.workload.result_snapshot()
+                for name, state in self.tenants.items()}
+
+
+def serve(platform: ClusterPlatform, tenants: list[TenantSpec],
+          **kwargs) -> ServingReport:
+    """One-shot convenience: build a :class:`ServingEngine` and run it."""
+    return ServingEngine(platform, tenants, **kwargs).run()

@@ -1,0 +1,264 @@
+"""Tenant specifications and per-tenant workload state.
+
+A :class:`TenantSpec` is the serving contract for one client population:
+what work each request does (``kind``), how requests arrive
+(:class:`~repro.serve.arrivals.ArrivalSpec`), the latency class and WFQ
+weight, the SLO, and the admission limits.  :class:`TenantWorkload`
+materializes the tenant's data in cluster HDM and turns (slice-range)
+requests into concrete kernel launches, mirroring the per-kind setup the
+single-purpose traffic driver uses — but exposing *range* launches so the
+dynamic batcher can fuse contiguous slices into one launch.
+
+Request kinds (same trio as the cluster traffic driver):
+
+``vecadd``  bandwidth-bound batched vector jobs; slices of C = A + B.
+``olap``    column-scan analytics; slices of a predicate mask sweep.
+``kvstore`` point GETs against a replicated hash table (one µthread per
+            request — never batched, each request has its own key/slot).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.host.api import pack_args
+from repro.kernels.kvstore import KVS_GET
+from repro.kernels.olap import EVAL_RANGE_I32
+from repro.kernels.vecadd import VECADD
+from repro.serve.arrivals import ArrivalSpec, stream_rng
+from repro.serve.qos import QOS_CLASSES, Request, validate_qos_class
+from repro.workloads import kvstore
+
+#: Request kinds the serving tiers implement.
+SERVE_KINDS = ("vecadd", "olap", "kvstore")
+
+#: Default per-request size per kind (elements / rows / table items).
+DEFAULT_SIZES = {"vecadd": 1 << 14, "olap": 1 << 15, "kvstore": 1 << 10}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's serving contract."""
+
+    name: str
+    kind: str
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
+    qos_class: str = "interactive"
+    weight: float = 1.0
+    #: Relative SLO deadline per request; inf = no SLO.
+    slo_ns: float = math.inf
+    #: Admission limits (0 disables each gate).
+    rate_limit_rps: float = 0.0
+    burst: float = 32.0
+    max_queue_depth: int = 0
+    #: Requests past their deadline before dispatch are dropped (counted
+    #: ``expired``) instead of served uselessly late.
+    drop_expired: bool = False
+    #: vecadd: elements per request; olap: rows per request; kvstore:
+    #: items in the tenant's table (0 = kind default).
+    size: int = 0
+    #: Working-set slices requests cycle through (vecadd / olap).
+    slices: int = 8
+    placement: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_KINDS:
+            raise ConfigError(
+                f"unknown tenant kind {self.kind!r}; "
+                f"choose from {list(SERVE_KINDS)}"
+            )
+        validate_qos_class(self.qos_class,
+                           source=f"tenant {self.name!r} qos_class")
+        if self.weight <= 0:
+            raise ConfigError(f"tenant {self.name!r} needs a positive weight")
+        if self.slo_ns <= 0:
+            raise ConfigError(f"tenant {self.name!r} needs a positive SLO")
+        if self.slices <= 0:
+            raise ConfigError(f"tenant {self.name!r} needs >= 1 slice")
+        if self.size < 0 or self.rate_limit_rps < 0 or self.max_queue_depth < 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: sizes and limits must be >= 0"
+            )
+
+    @property
+    def effective_size(self) -> int:
+        return self.size if self.size else DEFAULT_SIZES[self.kind]
+
+    @property
+    def total_requests(self) -> int:
+        return self.arrivals.total_requests
+
+
+@dataclass
+class LaunchPlan:
+    """Concrete kernel launch realizing one batch of requests."""
+
+    kernel_id: int
+    base: int
+    bound: int
+    args: bytes
+    stride: int = 32
+
+
+class TenantWorkload:
+    """Data + request factories for one tenant on a cluster runtime."""
+
+    def __init__(self, platform, spec: TenantSpec, seed: int) -> None:
+        self.spec = spec
+        self.runtime = platform.runtime
+        self.gen = stream_rng(seed, spec.name)
+        self._touched: set[int] = set()
+        getattr(self, f"_setup_{spec.kind}")()
+
+    # -- batching contract --------------------------------------------------
+
+    @property
+    def batchable(self) -> bool:
+        """Contiguous slice ranges merge into one launch (not KVStore)."""
+        return self.spec.kind != "kvstore"
+
+    def slice_of(self, index: int) -> tuple[int, int]:
+        """Working-set slice range request ``index`` covers."""
+        if self.spec.kind == "kvstore":
+            return (index, index + 1)     # identity: one slot per request
+        s = index % self.spec.slices
+        return (s, s + 1)
+
+    # -- per-kind data setup ------------------------------------------------
+
+    def _alloc_kw(self, default_placement: str | None = None) -> dict:
+        placement = self.spec.placement or default_placement
+        return {"placement": placement} if placement else {}
+
+    def _setup_vecadd(self) -> None:
+        n = self.spec.effective_size
+        total = n * self.spec.slices
+        self.a = (np.arange(total, dtype=np.int64)
+                  * int(self.gen.integers(1, 9)))
+        self.b = self.a[::-1].copy()
+        kw = self._alloc_kw()
+        self.addr_a = self.runtime.alloc_array(self.a, **kw)
+        self.addr_b = self.runtime.alloc_array(self.b, **kw)
+        self.addr_c = self.runtime.alloc(self.a.nbytes, **kw)
+        self.kid = self.runtime.register_kernel(
+            VECADD, name=f"{self.spec.name}.vecadd"
+        )
+
+    def _setup_olap(self) -> None:
+        rows = self.spec.effective_size
+        total = rows * self.spec.slices
+        self.lo, self.hi = 100, 900
+        self.column = self.gen.integers(0, 1000, total).astype(np.int32)
+        kw = self._alloc_kw()
+        self.addr_col = self.runtime.alloc_array(self.column, **kw)
+        self.addr_mask = self.runtime.alloc(total, **kw)
+        self.kid = self.runtime.register_kernel(
+            EVAL_RANGE_I32, name=f"{self.spec.name}.scan"
+        )
+
+    def _setup_kvstore(self) -> None:
+        # Read-mostly tables replicate by default so any expander serves
+        # a GET without a switch hop.
+        placement = self.spec.placement or "replicated"
+        requests = self.spec.total_requests
+        self.data = kvstore.generate(
+            self.spec.effective_size, requests,
+            get_fraction=1.0, mix_name="GET",
+            salt=int(self.gen.integers(0, 1 << 16)),
+        )
+        self.table = kvstore.setup_table(self.runtime, self.data,
+                                         placement=placement)
+        # one result slot per request; slots are verified post-run
+        self.slots_addr = self.runtime.alloc(requests * 128, align=128,
+                                             placement=placement)
+        self.kid = self.runtime.register_kernel(
+            KVS_GET, name=f"{self.spec.name}.get"
+        )
+        self._checks: list[tuple[int, int]] = []
+
+    # -- launch construction ------------------------------------------------
+
+    def plan(self, requests: list[Request]) -> LaunchPlan:
+        """One launch covering a batch's merged slice range."""
+        spec = self.spec
+        lo = min(r.slice_lo for r in requests)
+        hi = max(r.slice_hi for r in requests)
+        if spec.kind == "vecadd":
+            self._touched.update(range(lo, hi))
+            off = lo * spec.effective_size * 8
+            base = self.addr_a + off
+            bound = self.addr_a + hi * spec.effective_size * 8
+            return LaunchPlan(self.kid, base, bound,
+                              pack_args(self.addr_b + off, self.addr_c + off))
+        if spec.kind == "olap":
+            self._touched.update(range(lo, hi))
+            rows = spec.effective_size
+            base = self.addr_col + lo * rows * 4
+            bound = self.addr_col + hi * rows * 4
+            return LaunchPlan(
+                self.kid, base, bound,
+                pack_args(self.addr_mask + lo * rows, self.lo, self.hi),
+            )
+        # kvstore: exactly one request per launch
+        (request,) = requests
+        req = self.data.requests[request.index]
+        bucket_ptr = self.table.buckets_addr + 8 * kvstore.hash_key(
+            *req.key, self.data.buckets
+        )
+        slot = self.slots_addr + request.index * 128
+        self._checks.append((slot, req.value_seed))
+        return LaunchPlan(self.kid, slot, slot + 32,
+                          pack_args(bucket_ptr, *req.key))
+
+    # -- post-run verification ----------------------------------------------
+
+    def verify(self) -> bool:
+        spec = self.spec
+        if spec.kind == "vecadd":
+            n = spec.effective_size
+            produced = self.runtime.read_array(self.addr_c, np.int64,
+                                               len(self.a))
+            expected = self.a + self.b
+            return all(
+                np.array_equal(produced[s * n:(s + 1) * n],
+                               expected[s * n:(s + 1) * n])
+                for s in self._touched
+            )
+        if spec.kind == "olap":
+            rows = spec.effective_size
+            produced = self.runtime.read_array(
+                self.addr_mask, np.uint8, len(self.column)
+            ).astype(bool)
+            expected = (self.column >= self.lo) & (self.column < self.hi)
+            return all(
+                np.array_equal(produced[s * rows:(s + 1) * rows],
+                               expected[s * rows:(s + 1) * rows])
+                for s in self._touched
+            )
+        physical = self.runtime.physical
+        for slot, seed in self._checks:
+            if (physical.read_u64(slot + 64) != 1
+                    or physical.read_u64(slot) != seed):
+                return False
+        return True
+
+    def result_snapshot(self) -> bytes:
+        """Raw bytes of the tenant's result region.
+
+        Two runs that served the same requests must produce identical
+        snapshots regardless of scheduling or batching — the smoke point's
+        per-request-identity check.
+        """
+        physical = self.runtime.physical
+        spec = self.spec
+        if spec.kind == "vecadd":
+            return bytes(physical.read_bytes(self.addr_c, self.a.nbytes))
+        if spec.kind == "olap":
+            return bytes(physical.read_bytes(self.addr_mask, len(self.column)))
+        return bytes(
+            physical.read_bytes(self.slots_addr, spec.total_requests * 128)
+        )

@@ -140,6 +140,96 @@ class StatsRegistry:
         self._counters.clear()
         self._distributions.clear()
 
+    def timeline(self, prefix: str = "",
+                 start_ns: float = 0.0) -> "Timeline":
+        """Windowed view of counter deltas under ``prefix``.
+
+        Call :meth:`Timeline.mark` at window boundaries; each mark closes
+        a window holding the counter *deltas* accumulated since the
+        previous mark.  Serving reports and the smoke benchmark use this
+        instead of hand-rolling snapshot/subtract interval math.
+        """
+        return Timeline(self, prefix, start_ns)
+
+
+@dataclass
+class TimelineWindow:
+    """One window of counter deltas: [start_ns, end_ns)."""
+
+    start_ns: float
+    end_ns: float
+    deltas: dict[str, float]
+
+    @property
+    def span_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def rate_per_s(self, name: str) -> float:
+        """Counter delta expressed as a per-second rate over the window."""
+        if self.span_ns <= 0:
+            return 0.0
+        return self.deltas.get(name, 0.0) / (self.span_ns * 1e-9)
+
+    def sum_suffix(self, suffix: str) -> float:
+        """Sum of deltas across counters ending with ``suffix`` (e.g. the
+        total ``.served`` over all tenants in a ``serve.`` timeline)."""
+        return sum(v for k, v in self.deltas.items() if k.endswith(suffix))
+
+    def rate_suffix_per_s(self, suffix: str) -> float:
+        if self.span_ns <= 0:
+            return 0.0
+        return self.sum_suffix(suffix) / (self.span_ns * 1e-9)
+
+
+class Timeline:
+    """Counter-delta windows over a registry (see `StatsRegistry.timeline`)."""
+
+    def __init__(self, registry: StatsRegistry, prefix: str = "",
+                 start_ns: float = 0.0) -> None:
+        self._registry = registry
+        self._prefix = prefix
+        self._last_ns = start_ns
+        self._last_snapshot = registry.counters(prefix)
+        self.windows: list[TimelineWindow] = []
+
+    def mark(self, now_ns: float) -> TimelineWindow:
+        """Close the current window at ``now_ns`` and start the next one."""
+        if now_ns < self._last_ns:
+            raise ValueError(
+                f"timeline mark at {now_ns} before previous {self._last_ns}"
+            )
+        snapshot = self._registry.counters(self._prefix)
+        deltas = {
+            key: value - self._last_snapshot.get(key, 0.0)
+            for key, value in snapshot.items()
+            if value != self._last_snapshot.get(key, 0.0)
+        }
+        window = TimelineWindow(self._last_ns, now_ns, deltas)
+        self.windows.append(window)
+        self._last_ns = now_ns
+        self._last_snapshot = snapshot
+        return window
+
+    def series(self, name: str) -> list[tuple[float, float, float]]:
+        """(start_ns, end_ns, delta) for one counter across all windows."""
+        return [(w.start_ns, w.end_ns, w.deltas.get(name, 0.0))
+                for w in self.windows]
+
+    def total(self, name: str) -> float:
+        return sum(w.deltas.get(name, 0.0) for w in self.windows)
+
+    def peak_rate_per_s(self, name: str) -> float:
+        """Highest per-second rate of ``name`` over any closed window."""
+        if not self.windows:
+            return 0.0
+        return max(w.rate_per_s(name) for w in self.windows)
+
+    def peak_rate_suffix_per_s(self, suffix: str) -> float:
+        """Highest summed per-second rate of ``*suffix`` counters."""
+        if not self.windows:
+            return 0.0
+        return max(w.rate_suffix_per_s(suffix) for w in self.windows)
+
 
 @dataclass
 class IntervalSampler:

@@ -65,6 +65,22 @@ class TestMultiTenantRun:
         first, second = run(), run()
         assert first.aggregate.samples == second.aggregate.samples
 
+    def test_config_seed_changes_traffic(self):
+        # arrivals and stream data both derive from ClusterConfig.seed
+        from repro.config import ClusterConfig
+
+        def run(seed):
+            platform = make_cluster_platform(
+                num_devices=2,
+                cluster=ClusterConfig(num_devices=2, seed=seed),
+                backend="batched",
+            )
+            specs = [StreamSpec("vec", "vecadd", rate_rps=1e6, requests=12,
+                                size=1 << 10)]
+            return TrafficDriver(platform, specs).run()
+        assert run(1).aggregate.samples != run(2).aggregate.samples
+        assert run(3).aggregate.samples == run(3).aggregate.samples
+
 
 class TestValidation:
     def test_unknown_kind_rejected(self):

@@ -210,6 +210,10 @@ class TestValidation:
         with pytest.raises(ConfigError):
             ClusterConfig(num_devices=0)
 
+    def test_cluster_config_rejects_negative_seed(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(seed=-1)
+
     def test_env_scheduler_validated_at_construction(self, monkeypatch):
         monkeypatch.setenv("REPRO_CLUSTER_SCHEDULER", "fifo")
         with pytest.raises(ConfigError, match="REPRO_CLUSTER_SCHEDULER"):

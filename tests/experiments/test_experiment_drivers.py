@@ -17,7 +17,8 @@ class TestRegistry:
                     "fig10b", "fig10c", "fig11a", "fig11b", "fig12a",
                     "fig12b", "fig13a-freq", "fig13a-ltu", "fig13b",
                     "fig14a", "fig14b", "fig15-olap", "fig15-gpu",
-                    "instr-savings"}
+                    "instr-savings", "scaling", "scaling-policies",
+                    "serving", "serving-autoscale"}
         assert expected <= set(EXPERIMENTS)
 
     def test_paper_reference_covers_headlines(self):
@@ -99,3 +100,19 @@ class TestFig14bDriver:
         speedups = result.column("speedup")
         assert speedups == sorted(speedups)
         assert speedups[-1] > 6.0
+
+
+class TestServingDriver:
+    def test_sweep_reports_per_tenant_slo_and_p99(self):
+        from repro.experiments.serving import run_serving
+
+        result = run_serving(requests=12)
+        combos = {(r["scheduler"], r["max_batch"]) for r in result.rows}
+        assert combos == {("fifo", 1), ("fifo", 8), ("wfq", 1), ("wfq", 8)}
+        tenant_rows = [r for r in result.rows if r["tenant"] != "(aggregate)"]
+        assert all(r["correct"] for r in result.rows)
+        assert all(r["p99_ns"] >= r["p50_ns"] >= 0 for r in tenant_rows)
+        assert all(0.0 <= r["slo_att"] <= 1.0 for r in tenant_rows)
+        # batching actually batched the batchable tenants somewhere
+        assert any(r["mean_batch"] > 1.0 for r in tenant_rows
+                   if r["max_batch"] == 8)

@@ -1,0 +1,291 @@
+"""Scheduler fairness invariants and queue/batcher mechanics.
+
+The three serving-fairness invariants from the issue checklist run at the
+engine level (real cluster launches, real queueing):
+
+* two equal-weight tenants get served shares within 10% of each other;
+* the batch class is starvation-free under interactive overload;
+* admission-control shed accounting sums back to the offered load.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import make_cluster_platform
+from repro.errors import ConfigError
+from repro.serve import (
+    ArrivalSpec,
+    BatchPolicy,
+    DynamicBatcher,
+    QoSScheduler,
+    Request,
+    RequestQueue,
+    ServingEngine,
+    TenantSpec,
+)
+
+
+def _request(tenant, seq, arrival=0.0, qos="interactive",
+             deadline=math.inf, slice_lo=0, slice_hi=1, index=0):
+    return Request(tenant=tenant, index=index, seq=seq, arrival_ns=arrival,
+                   qos_class=qos, deadline_ns=deadline,
+                   slice_lo=slice_lo, slice_hi=slice_hi)
+
+
+class TestRequestQueue:
+    def test_deadline_order_within_class(self):
+        queue = RequestQueue()
+        queue.push(_request("t", 0, deadline=300.0))
+        queue.push(_request("t", 1, deadline=100.0))
+        queue.push(_request("t", 2, deadline=200.0))
+        deadlines = [queue.pop("t").deadline_ns for _ in range(3)]
+        assert deadlines == [100.0, 200.0, 300.0]
+
+    def test_interactive_before_batch(self):
+        queue = RequestQueue()
+        queue.push(_request("t", 0, qos="batch", deadline=1.0))
+        queue.push(_request("t", 1, qos="interactive"))
+        assert queue.pop("t").qos_class == "interactive"
+
+    def test_head_run_preserves_queue(self):
+        queue = RequestQueue()
+        for i in range(4):
+            queue.push(_request("t", i, slice_lo=i, slice_hi=i + 1))
+        assert [r.seq for r in queue.head_run("t", 3)] == [0, 1, 2]
+        assert queue.depth("t") == 4
+
+
+class TestSchedulerPolicies:
+    def test_fifo_picks_global_arrival_order(self):
+        scheduler = QoSScheduler(policy="fifo")
+        heads = {"a": _request("a", 5), "b": _request("b", 2)}
+        assert scheduler.pick(heads, now_ns=0.0) == "b"
+
+    def test_wfq_alternates_equal_weights(self):
+        scheduler = QoSScheduler(policy="wfq",
+                                 weights={"a": 1.0, "b": 1.0})
+        heads = {"a": _request("a", 0), "b": _request("b", 1)}
+        picks = []
+        for _ in range(6):
+            choice = scheduler.pick(heads, now_ns=0.0)
+            scheduler.charge(choice, 1.0)
+            picks.append(choice)
+        assert picks.count("a") == 3 and picks.count("b") == 3
+
+    def test_wfq_honors_weights(self):
+        scheduler = QoSScheduler(policy="wfq",
+                                 weights={"heavy": 3.0, "light": 1.0})
+        heads = {"heavy": _request("heavy", 0), "light": _request("light", 1)}
+        picks = []
+        for _ in range(8):
+            choice = scheduler.pick(heads, now_ns=0.0)
+            scheduler.charge(choice, 1.0)
+            picks.append(choice)
+        assert picks.count("heavy") == 6 and picks.count("light") == 2
+
+    def test_interactive_band_preempts_batch(self):
+        scheduler = QoSScheduler(policy="wfq",
+                                 weights={"i": 1.0, "b": 1.0})
+        heads = {"i": _request("i", 1, qos="interactive"),
+                 "b": _request("b", 0, qos="batch")}
+        assert scheduler.pick(heads, now_ns=0.0) == "i"
+
+    def test_starved_batch_promotes(self):
+        scheduler = QoSScheduler(policy="wfq", weights={"i": 1.0, "b": 1.0},
+                                 starvation_ns=1_000.0)
+        heads = {"i": _request("i", 1, qos="interactive", arrival=5_000.0),
+                 "b": _request("b", 0, qos="batch", arrival=0.0)}
+        # batch head has aged past the threshold: same band, and its
+        # earlier virtual start tag (both zero) ties -> deadline, then name
+        choice = scheduler.pick(heads, now_ns=5_000.0)
+        scheduler.charge(choice, 1.0)
+        assert scheduler.pick(heads, now_ns=5_000.0) != choice
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            QoSScheduler(policy="lottery")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            QoSScheduler(policy="wfq", weights={"t": 0.0})
+
+
+class TestDynamicBatcher:
+    def _queue_with(self, slices):
+        queue = RequestQueue()
+        for i, (lo, hi) in enumerate(slices):
+            queue.push(_request("t", i, slice_lo=lo, slice_hi=hi, index=i))
+        return queue
+
+    def test_contiguous_run_merges(self):
+        queue = self._queue_with([(0, 1), (1, 2), (2, 3)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_ns=0.0))
+        batch = batcher.take(queue, "t", batchable=True)
+        assert batch.size == 3
+        assert (batch.slice_lo, batch.slice_hi) == (0, 3)
+        assert queue.depth("t") == 0
+
+    def test_duplicate_slice_absorbed(self):
+        queue = self._queue_with([(0, 1), (0, 1), (1, 2)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_ns=0.0))
+        batch = batcher.take(queue, "t", batchable=True)
+        assert batch.size == 3
+        assert (batch.slice_lo, batch.slice_hi) == (0, 2)
+
+    def test_gap_stops_the_run(self):
+        queue = self._queue_with([(0, 1), (5, 6), (1, 2)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_ns=0.0))
+        batch = batcher.take(queue, "t", batchable=True)
+        assert batch.size == 1
+        assert queue.depth("t") == 2
+
+    def test_max_batch_respected(self):
+        queue = self._queue_with([(i, i + 1) for i in range(10)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4, max_wait_ns=0.0))
+        assert batcher.take(queue, "t", batchable=True).size == 4
+
+    def test_unbatchable_always_single(self):
+        queue = self._queue_with([(0, 1), (1, 2)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_ns=0.0))
+        assert batcher.take(queue, "t", batchable=False).size == 1
+
+    def test_hold_waits_for_batchmates(self):
+        queue = self._queue_with([(0, 1)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4, max_wait_ns=500.0))
+        flush_at = batcher.should_hold(queue, "t", batchable=True,
+                                       now_ns=100.0, more_arrivals=True)
+        assert flush_at == 500.0      # head arrived at 0.0
+
+    def test_no_hold_when_stream_exhausted(self):
+        queue = self._queue_with([(0, 1)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4, max_wait_ns=500.0))
+        assert batcher.should_hold(queue, "t", batchable=True,
+                                   now_ns=100.0, more_arrivals=False) is None
+
+    def test_no_hold_when_full(self):
+        queue = self._queue_with([(i, i + 1) for i in range(4)])
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4, max_wait_ns=500.0))
+        assert batcher.should_hold(queue, "t", batchable=True,
+                                   now_ns=100.0, more_arrivals=True) is None
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_batch=0)
+
+
+# ---------------------------------------------------------------------------
+# engine-level fairness invariants (the issue checklist)
+# ---------------------------------------------------------------------------
+
+
+def _fair_engine(scheduler):
+    platform = make_cluster_platform(num_devices=1, backend="batched")
+    # both tenants dump their full demand at t=0: only the scheduler
+    # decides who gets served while the backlog drains
+    tenants = [
+        TenantSpec(name, "vecadd",
+                   arrivals=ArrivalSpec("trace", times=(0.0,) * 60),
+                   size=1 << 10, slices=6, weight=1.0)
+        for name in ("alice", "bob")
+    ]
+    return ServingEngine(platform, tenants, scheduler=scheduler,
+                         batch=BatchPolicy(max_batch=1),
+                         inflight_per_device=1)
+
+
+class TestFairShare:
+    def test_equal_weight_tenants_within_10_percent(self):
+        report = _fair_engine("wfq").run()
+        assert report.correct
+        # completion order while both backlogs drain: share of the first
+        # half must be fair, not just the final totals
+        completions = sorted(
+            (when, t.name) for t in report.tenants
+            for when in t.completion_times
+        )
+        half = completions[:len(completions) // 2]
+        alice = sum(1 for _, name in half if name == "alice")
+        share = alice / len(half)
+        assert 0.45 <= share <= 0.55, f"unfair share {share:.2f}"
+
+    def test_fifo_baseline_is_unfair_here(self):
+        # the same all-at-once backlog under FIFO serves one tenant first —
+        # documents that the WFQ result above is the scheduler's doing
+        report = _fair_engine("fifo").run()
+        completions = sorted(
+            (when, t.name) for t in report.tenants
+            for when in t.completion_times
+        )
+        half = completions[:len(completions) // 2]
+        alice = sum(1 for _, name in half if name == "alice")
+        share = alice / len(half)
+        assert share > 0.9 or share < 0.1
+
+
+class TestStarvationFreedom:
+    def test_batch_class_served_under_interactive_overload(self):
+        platform = make_cluster_platform(num_devices=1, backend="batched")
+        tenants = [
+            TenantSpec("frontend", "vecadd",
+                       arrivals=ArrivalSpec("poisson", rate_rps=2e7,
+                                            requests=150),
+                       qos_class="interactive", size=1 << 10, slices=6),
+            TenantSpec("nightly", "vecadd",
+                       arrivals=ArrivalSpec("trace", times=(0.0,) * 8),
+                       qos_class="batch", size=1 << 10, slices=4),
+        ]
+        engine = ServingEngine(platform, tenants, scheduler="wfq",
+                               batch=BatchPolicy(max_batch=1),
+                               inflight_per_device=1,
+                               starvation_ns=20_000.0)
+        report = engine.run()
+        assert report.correct
+        nightly = report.tenant("nightly")
+        frontend = report.tenant("frontend")
+        assert nightly.served == 8
+        # strict priority would park the batch tenant until the interactive
+        # stream drained; aging must finish it strictly earlier
+        assert (max(nightly.completion_times)
+                < max(frontend.completion_times))
+        # and its waits stay bounded by promotion, not by the whole run
+        assert nightly.p99_ns < report.span_ns / 2
+
+
+class TestShedAccounting:
+    def test_sheds_and_expiries_sum_to_offered(self):
+        platform = make_cluster_platform(num_devices=1, backend="batched")
+        tenants = [
+            TenantSpec("throttled", "vecadd",
+                       arrivals=ArrivalSpec("poisson", rate_rps=2e7,
+                                            requests=120),
+                       size=1 << 10, slices=4,
+                       rate_limit_rps=2e6, burst=4,
+                       max_queue_depth=6,
+                       slo_ns=50_000.0, drop_expired=True),
+        ]
+        report = ServingEngine(platform, tenants, scheduler="wfq",
+                               batch=BatchPolicy(max_batch=1),
+                               inflight_per_device=1).run()
+        t = report.tenant("throttled")
+        assert t.offered == 120
+        assert t.shed_rate_limit > 0          # the bucket actually throttled
+        accounted = (t.served + t.shed_rate_limit + t.shed_queue_full
+                     + t.expired)
+        assert accounted == t.offered
+        assert t.admitted == t.served + t.expired
+        assert report.correct
+
+    def test_queue_depth_shedding_triggers(self):
+        platform = make_cluster_platform(num_devices=1, backend="batched")
+        tenants = [
+            TenantSpec("flooded", "vecadd",
+                       arrivals=ArrivalSpec("trace", times=(0.0,) * 40),
+                       size=1 << 10, slices=4, max_queue_depth=5),
+        ]
+        report = ServingEngine(platform, tenants,
+                               batch=BatchPolicy(max_batch=1),
+                               inflight_per_device=1).run()
+        t = report.tenant("flooded")
+        assert t.shed_queue_full > 0
+        assert t.served + t.shed_queue_full == 40

@@ -150,3 +150,71 @@ class TestIntervalSampler:
             sampler.series(0.0, 0.0, 5)
         with pytest.raises(ValueError):
             sampler.series(0.0, 1.0, 0)
+
+
+class TestTimeline:
+    def test_windowed_counter_deltas(self):
+        registry = StatsRegistry()
+        registry.add("serve.a.served", 3)
+        timeline = registry.timeline("serve.")
+        registry.add("serve.a.served", 5)
+        window = timeline.mark(100.0)
+        assert window.deltas == {"serve.a.served": 5.0}
+        assert (window.start_ns, window.end_ns) == (0.0, 100.0)
+        registry.add("serve.b.shed", 2)
+        window = timeline.mark(250.0)
+        assert window.deltas == {"serve.b.shed": 2.0}
+
+    def test_prefix_filters_other_counters(self):
+        registry = StatsRegistry()
+        timeline = registry.timeline("serve.")
+        registry.add("dram.row_hits", 7)
+        registry.add("serve.x.served", 1)
+        assert timeline.mark(10.0).deltas == {"serve.x.served": 1.0}
+
+    def test_series_and_totals(self):
+        registry = StatsRegistry()
+        timeline = registry.timeline()
+        registry.add("served", 4)
+        timeline.mark(10.0)
+        timeline.mark(20.0)          # empty window
+        registry.add("served", 6)
+        timeline.mark(30.0)
+        assert timeline.series("served") == [
+            (0.0, 10.0, 4.0), (10.0, 20.0, 0.0), (20.0, 30.0, 6.0)
+        ]
+        assert timeline.total("served") == 10.0
+
+    def test_rates_per_second(self):
+        registry = StatsRegistry()
+        timeline = registry.timeline()
+        registry.add("served", 5)
+        window = timeline.mark(1_000.0)          # 5 in 1 µs = 5e6/s
+        assert window.rate_per_s("served") == pytest.approx(5e6)
+        assert timeline.peak_rate_per_s("served") == pytest.approx(5e6)
+
+    def test_backwards_mark_rejected(self):
+        registry = StatsRegistry()
+        timeline = registry.timeline()
+        timeline.mark(50.0)
+        with pytest.raises(ValueError):
+            timeline.mark(10.0)
+
+    def test_suffix_sum_and_rates(self):
+        registry = StatsRegistry()
+        timeline = registry.timeline("serve.")
+        registry.add("serve.a.served", 3)
+        registry.add("serve.b.served", 2)
+        registry.add("serve.a.shed", 1)
+        window = timeline.mark(1_000.0)
+        assert window.sum_suffix(".served") == 5.0
+        assert window.rate_suffix_per_s(".served") == pytest.approx(5e6)
+        assert timeline.peak_rate_suffix_per_s(".served") == pytest.approx(5e6)
+
+    def test_start_ns_offsets_first_window(self):
+        registry = StatsRegistry()
+        timeline = registry.timeline(start_ns=700.0)
+        registry.add("served", 1)
+        window = timeline.mark(1_700.0)
+        assert window.start_ns == 700.0
+        assert window.span_ns == 1_000.0
