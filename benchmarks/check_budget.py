@@ -13,6 +13,12 @@ tests; this gate only protects the *wall-clock* trajectory, so a change
 that silently puts a Python loop back on the charge path turns CI red
 instead of slowly rotting every sweep.
 
+Two *coverage* gates ride along: the fig06 (HISTO atomics/phases) and
+kvstore (fine-grained divergent GET/SET) smoke points must report
+``batched_fallbacks == 0`` — the SIMT engine owns those launch classes,
+and a change that silently hands them back to the interpreter is a
+~10-60x wall cliff the factor-based budget might only catch later.
+
 Usage::
 
     python benchmarks/check_budget.py committed.json fresh.json
@@ -27,11 +33,20 @@ import sys
 #: Dotted paths of the wall-clock fields under budget.
 TRACKED_FIELDS = (
     "fig10a_point.batched.wall_seconds",
+    "fig06_point.batched.wall_seconds",
+    "kvstore_point.batched.wall_seconds",
     "cluster_point.x1.wall_seconds",
     "cluster_point.x2.wall_seconds",
     "traffic_point.wall_seconds",
     "serving_point.unbatched.wall_seconds",
     "serving_point.batched.wall_seconds",
+)
+
+#: Dotted paths that must be exactly zero in the fresh run: interpreter
+#: fallbacks on launch classes the SIMT engine covers.
+ZERO_FALLBACK_FIELDS = (
+    "fig06_point.batched.batched_fallbacks",
+    "kvstore_point.batched.batched_fallbacks",
 )
 
 DEFAULT_FACTOR = 2.0
@@ -64,6 +79,15 @@ def check(committed: dict, fresh: dict, factor: float) -> list[str]:
             failures.append(
                 f"{field}: {now:.3f}s vs committed {base:.3f}s "
                 f"(> {factor:.1f}x + {ABS_SLACK_SECONDS:.1f}s budget)"
+            )
+    for field in ZERO_FALLBACK_FIELDS:
+        now = _dig(fresh, field)
+        if now is not None and now != 0:
+            reasons = _dig(fresh, field.rsplit(".", 1)[0]
+                           + ".fallback_reasons")
+            failures.append(
+                f"{field}: {now:.0f} interpreter fallbacks on a "
+                f"SIMT-covered launch class (reasons: {reasons})"
             )
     return failures
 

@@ -10,23 +10,42 @@ there).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/profile.py [point] [--top N] [-o FILE]
+    PYTHONPATH=src python benchmarks/profile.py [point] [--top N]
+                                                [--sort RANKING] [-o FILE]
 
 where ``point`` is one of:
 
 * ``cluster`` (default) — 2-device interleaved vecadd, one logical launch
 * ``traffic`` — 100-request open-loop vecadd stream on a 2-device cluster
 * ``fig10a``  — the TPC-H Q6 "small" OLAP point on the batched backend
+* ``kvstore`` — 400 fine-grained KVS_B requests on the batched backend:
+  every launch is a one-µthread divergent chain walk, i.e. pure masked
+  SIMT engine (`repro/exec/simt.py`) — profile this before touching it
+* ``histo``   — one HISTO4096 launch (phases + scratchpad + vector
+  atomics), the bulk-lane SIMT path
 
+``--sort`` picks the ranking(s) printed: ``tottime`` (where the cycles
+go), ``cumulative`` (how you got there) or ``both`` (default).
 ``-o FILE`` additionally dumps raw pstats for ``snakeviz``-style viewers.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
+# This file shadows the stdlib ``profile`` module that ``cProfile``
+# imports when the script directory leads sys.path (the documented
+# ``python benchmarks/profile.py`` invocation).  Drop it before pulling
+# in cProfile so the stdlib module resolves.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path[:] = [
+    p for p in sys.path if os.path.abspath(p if p else os.getcwd()) != _HERE
+]
+
 import argparse
 import cProfile
 import pstats
-import sys
 import time
 
 import numpy as np
@@ -72,10 +91,36 @@ def run_fig10a() -> None:
     olap.run_ndp_evaluate(platform, data)
 
 
+def run_kvstore() -> None:
+    from repro.host.offload import make_offload_path
+    from repro.workloads import kvstore
+    from repro.workloads.base import make_platform
+
+    data = kvstore.kvs_b(1024, 400)
+    platform = make_platform(backend="batched")
+    kvstore.run_ndp(platform, data, make_offload_path("m2func"))
+    fallbacks = platform.stats.get("exec.batched_fallbacks")
+    if fallbacks:
+        raise SystemExit(
+            f"kvstore profile point stopped exercising the SIMT engine "
+            f"({fallbacks:.0f} interpreter fallbacks)")
+
+
+def run_histo() -> None:
+    from repro.workloads import histogram
+    from repro.workloads.base import make_platform
+
+    data = histogram.generate(1 << 17, 4096)
+    platform = make_platform(backend="batched")
+    histogram.run_ndp(platform, data)
+
+
 POINTS = {
     "cluster": run_cluster,
     "traffic": run_traffic,
     "fig10a": run_fig10a,
+    "kvstore": run_kvstore,
+    "histo": run_histo,
 }
 
 
@@ -85,6 +130,9 @@ def main(argv: list[str] | None = None) -> None:
                         choices=sorted(POINTS))
     parser.add_argument("--top", type=int, default=20,
                         help="functions to show per ranking (default 20)")
+    parser.add_argument("--sort", default="both",
+                        choices=("tottime", "cumulative", "both"),
+                        help="ranking(s) to print (default: both)")
     parser.add_argument("-o", "--output", default=None,
                         help="also dump raw pstats to this file")
     args = parser.parse_args(argv)
@@ -99,7 +147,9 @@ def main(argv: list[str] | None = None) -> None:
 
     print(f"profiled smoke point {args.point!r}: {wall:.3f}s wall\n")
     stats = pstats.Stats(profiler)
-    for ranking in ("tottime", "cumulative"):
+    rankings = (("tottime", "cumulative") if args.sort == "both"
+                else (args.sort,))
+    for ranking in rankings:
         print(f"=== top {args.top} by {ranking} ===")
         stats.sort_stats(ranking).print_stats(args.top)
     if args.output:

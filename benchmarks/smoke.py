@@ -1,18 +1,25 @@
 """Smoke benchmark: fast perf-trajectory tracking for CI.
 
 Runs the Fig 5 offload-timeline model, one Fig 10a OLAP point (TPC-H
-Q6, "small" scale) on *both* execution backends, one cluster point
-(2-device interleaved vecadd vs 1 device), one repeated-launch
-traffic point (100 open-loop vecadd requests through the cluster — the
-trace cache's home turf), and one serving point (two tenants through the
-SLO-aware serving engine, dynamic batching vs unbatched FIFO), then
-writes ``BENCH_smoke.json`` with simulated results, wall-clock times and
-trace-cache hit/miss counters, plus ``BENCH_serving_tenants.json`` with
-the per-tenant latency summary CI uploads as an artifact.  CI runs this
-on every push so the interpreter/batched performance gap, the scale-out
-speedup, the batching gains, and any regression in them are recorded
+Q6, "small" scale) on *both* execution backends, one Fig 6-class HISTO
+point (vector atomics + init/final phases + scratchpad — a guaranteed
+interpreter fallback before the SIMT engine, now its bulk-lane
+showcase), one Fig 10b-class KVStore point (fine-grained one-µthread
+divergent chain walks, the masked engine's single-lane path), one
+cluster point (2-device interleaved vecadd vs 1 device), one
+repeated-launch traffic point (100 open-loop vecadd requests through the
+cluster — the trace cache's home turf), and one serving point (two
+tenants through the SLO-aware serving engine, dynamic batching vs
+unbatched FIFO), then writes ``BENCH_smoke.json`` with simulated
+results, wall-clock times, trace-cache hit/miss counters and the
+``exec.fallback_reason.<class>`` attribution, plus
+``BENCH_serving_tenants.json`` with the per-tenant latency summary CI
+uploads as an artifact.  CI runs this on every push so the
+interpreter/batched performance gap, the scale-out speedup, the
+batching gains, the SIMT coverage (the HISTO and KVStore points gate on
+``batched_fallbacks == 0``), and any regression in them are recorded
 from PR to PR; ``benchmarks/check_budget.py`` turns wall-clock
-regressions into CI failures.
+regressions and fallback reappearances into CI failures.
 
 Usage::
 
@@ -32,13 +39,24 @@ from repro.cluster import make_cluster_platform
 from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
 from repro.host.api import pack_args
+from repro.host.offload import make_offload_path
 from repro.kernels.vecadd import VECADD
 from repro.serve import ArrivalSpec, BatchPolicy, ServingEngine, TenantSpec
-from repro.workloads import olap
+from repro.workloads import histogram, kvstore, olap
 from repro.workloads.base import make_platform, scale
 
 SMOKE_QUERY = "q6"
 SMOKE_SCALE = "small"
+
+#: Fig 6-class smoke point: HISTO4096 input size.  Big enough that the
+#: interpreter pays seconds while the SIMT engine stays ~100 ms, small
+#: enough for every CI run.
+FIG06_SMOKE_ELEMENTS = 1 << 16
+FIG06_SMOKE_BINS = 4096
+
+#: Fig 10b-class smoke point: fine-grained KVStore GET/SET requests.
+KVSTORE_SMOKE_ITEMS = 512
+KVSTORE_SMOKE_REQUESTS = 300
 
 #: Cluster smoke point: elements per vecadd array (2 MB — big enough to be
 #: bandwidth-bound, small enough for a CI run).
@@ -67,6 +85,20 @@ def bench_fig5() -> dict:
     }
 
 
+def _exec_profile(plat) -> dict:
+    """Engine attribution for one run: launches per tier + fallback reasons."""
+    prefix = "exec.fallback_reason."
+    return {
+        "batched_launches": plat.stats.get("exec.batched_launches"),
+        "simt_launches": plat.stats.get("exec.simt_launches"),
+        "batched_fallbacks": plat.stats.get("exec.batched_fallbacks"),
+        "fallback_reasons": {
+            key[len(prefix):]: value
+            for key, value in plat.stats.counters(prefix).items()
+        },
+    }
+
+
 def bench_fig10a_point(query: str = SMOKE_QUERY,
                        scale_name: str = SMOKE_SCALE) -> dict:
     preset = scale(scale_name)
@@ -82,14 +114,74 @@ def bench_fig10a_point(query: str = SMOKE_QUERY,
             "runtime_ns": run.runtime_ns,
             "correct": run.correct,
             "dram_bytes": run.dram_bytes,
-            "batched_launches": plat.stats.get("exec.batched_launches"),
-            "batched_fallbacks": plat.stats.get("exec.batched_fallbacks"),
+            **_exec_profile(plat),
         }
     out["batched_wall_speedup"] = (
         out["interpreter"]["wall_seconds"] / out["batched"]["wall_seconds"]
     )
     out["batched_runtime_ratio"] = (
         out["batched"]["runtime_ns"] / out["interpreter"]["runtime_ns"]
+    )
+    return out
+
+
+def bench_fig06_point(elements: int = FIG06_SMOKE_ELEMENTS,
+                      nbins: int = FIG06_SMOKE_BINS) -> dict:
+    """HISTO on both backends: the previously-fallback atomic point.
+
+    Before the SIMT engine this kernel (vector atomics, scratchpad
+    partials, init/final phases) fell back to the interpreter on every
+    launch; the point records the wall-clock cliff the masked engine
+    removes and gates on the fallback count staying zero.
+    """
+    out: dict = {"elements": elements, "nbins": nbins}
+    data = histogram.generate(elements, nbins)
+    for backend in ("interpreter", "batched"):
+        plat = make_platform(backend=backend)
+        start = time.perf_counter()
+        run = histogram.run_ndp(plat, data)
+        wall = time.perf_counter() - start
+        out[backend] = {
+            "wall_seconds": wall,
+            "runtime_ns": run.runtime_ns,
+            "correct": run.correct,
+            **_exec_profile(plat),
+        }
+    out["simt_wall_speedup"] = (
+        out["interpreter"]["wall_seconds"] / out["batched"]["wall_seconds"]
+    )
+    out["simt_runtime_ratio"] = (
+        out["batched"]["runtime_ns"] / out["interpreter"]["runtime_ns"]
+    )
+    return out
+
+
+def bench_kvstore_point(items: int = KVSTORE_SMOKE_ITEMS,
+                        requests: int = KVSTORE_SMOKE_REQUESTS) -> dict:
+    """Fig 10b-class KVStore mix on both backends (single-lane SIMT).
+
+    Every request is a one-µthread divergent chain walk with an atomic
+    SET path — the masked engine's n=1 case.  Gated on zero interpreter
+    fallbacks so the fine-grained class cannot silently regress.
+    """
+    out: dict = {"items": items, "requests": requests, "mix": "KVS_B"}
+    for backend in ("interpreter", "batched"):
+        data = kvstore.kvs_b(items, requests)
+        plat = make_platform(backend=backend)
+        start = time.perf_counter()
+        run = kvstore.run_ndp(plat, data, make_offload_path("m2func"))
+        wall = time.perf_counter() - start
+        out[backend] = {
+            "wall_seconds": wall,
+            "p95_ns": run.p95_ns,
+            "served": run.served,
+            "correct": run.correct,
+            "trace_cache_hits": plat.stats.get("exec.trace_cache_hits"),
+            "trace_cache_misses": plat.stats.get("exec.trace_cache_misses"),
+            **_exec_profile(plat),
+        }
+    out["p95_ratio"] = (
+        out["batched"]["p95_ns"] / out["interpreter"]["p95_ns"]
     )
     return out
 
@@ -238,6 +330,8 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         "python": platform_mod.python_version(),
         "fig5": bench_fig5(),
         "fig10a_point": bench_fig10a_point(),
+        "fig06_point": bench_fig06_point(),
+        "kvstore_point": bench_kvstore_point(),
         "cluster_point": bench_cluster_point(),
         "traffic_point": bench_traffic_point(),
         "serving_point": bench_serving_point(),
@@ -246,6 +340,8 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    fig06 = payload["fig06_point"]
+    kvs = payload["kvstore_point"]
     cluster = payload["cluster_point"]
     traffic = payload["traffic_point"]
     serving = payload["serving_point"]
@@ -263,6 +359,18 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"batched {point['batched']['wall_seconds']:.2f}s "
           f"({point['batched_wall_speedup']:.1f}x wall, "
           f"sim-time ratio {point['batched_runtime_ratio']:.2f})")
+    print(f"  fig06 histo{fig06['nbins']} ({fig06['elements']} elems): "
+          f"interpreter {fig06['interpreter']['wall_seconds']:.2f}s, "
+          f"SIMT {fig06['batched']['wall_seconds']:.2f}s "
+          f"({fig06['simt_wall_speedup']:.1f}x wall, sim-time ratio "
+          f"{fig06['simt_runtime_ratio']:.2f}, "
+          f"{fig06['batched']['batched_fallbacks']:.0f} fallbacks)")
+    print(f"  kvstore {kvs['mix']} {kvs['requests']} reqs: "
+          f"interpreter {kvs['interpreter']['wall_seconds']:.2f}s, "
+          f"SIMT {kvs['batched']['wall_seconds']:.2f}s, p95 ratio "
+          f"{kvs['p95_ratio']:.2f}, "
+          f"{kvs['batched']['batched_fallbacks']:.0f} fallbacks "
+          f"(reasons {kvs['batched']['fallback_reasons'] or 'none'})")
     print(f"  cluster vecadd {cluster['elements']} elems: "
           f"2-device speedup {cluster['cluster_speedup']:.2f}x "
           f"({cluster['x2']['sub_launches']:.0f} sub-launches)")
@@ -279,6 +387,25 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"results identical: {serving['results_identical']}")
     if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
         raise SystemExit("smoke benchmark produced incorrect results")
+    if not (fig06["interpreter"]["correct"] and fig06["batched"]["correct"]):
+        raise SystemExit("fig06 smoke point produced incorrect results")
+    if fig06["batched"]["batched_fallbacks"] != 0:
+        raise SystemExit(
+            f"fig06 smoke point fell back to the interpreter "
+            f"({fig06['batched']['fallback_reasons']})"
+        )
+    if fig06["simt_wall_speedup"] < 5.0:
+        raise SystemExit(
+            f"SIMT engine lost its wall-clock edge on the atomic point "
+            f"({fig06['simt_wall_speedup']:.1f}x, floor 5x)"
+        )
+    if not (kvs["interpreter"]["correct"] and kvs["batched"]["correct"]):
+        raise SystemExit("kvstore smoke point produced incorrect results")
+    if kvs["batched"]["batched_fallbacks"] != 0:
+        raise SystemExit(
+            f"kvstore smoke point fell back to the interpreter "
+            f"({kvs['batched']['fallback_reasons']})"
+        )
     if not (cluster["x1"]["correct"] and cluster["x2"]["correct"]):
         raise SystemExit("cluster smoke point produced incorrect results")
     if not traffic["correct"]:

@@ -36,31 +36,47 @@ Backend selection
   wins (experiments pinned to the interpreter must not be overridden from
   the environment).
 * Experiments default to ``batched`` via
-  ``repro.experiments.common.EXPERIMENT_BACKEND`` — except the
-  microarchitectural studies (Fig 6 context occupancy, Fig 12a spawn
-  granularity ablation) which need the bit-exact interpreter.
-* The batched backend *automatically falls back* to the interpreter, per
-  launch, whenever a kernel is not trace-replayable: initializer/finalizer
-  sections or multiple bodies, any atomic (AMO/VAMO — histogram and graph
-  reductions land here), indexed gathers/scatters, scratchpad stores,
-  µthread-divergent branches, read-after-write hazards through memory, or
-  launches too small to amortize tracing.  Fallbacks are counted in the
-  ``exec.batched_fallbacks`` stat; fast-path launches in
-  ``exec.batched_launches``.
+  ``repro.experiments.common.EXPERIMENT_BACKEND``; since the SIMT engine
+  the microarchitectural studies (Fig 6 context occupancy, Fig 12a spawn
+  granularity ablation) run unpinned on it as well.
+* Inside the batched backend, launches route per class: bulk
+  branch-uniform launches take the launch-uniform trace/replay walk;
+  initializer/finalizer phases, atomics (AMO/VAMO), indexed
+  gathers/scatters, scratchpad state, µthread-divergent branches and
+  sub-threshold launch sizes run on the masked **SIMT engine**
+  (:mod:`repro.exec.simt`: active-mask stack with post-dominator
+  reconvergence, lane-ordered grouped AMOs, per-unit scratchpad shadows).
+  Only translation faults, read-after-write races through memory,
+  order-sensitive atomic contention and unsupported instructions still
+  fall back to the interpreter — counted in ``exec.batched_fallbacks``
+  and attributed in ``exec.fallback_reason.<class>``; engine launches
+  land in ``exec.batched_launches`` / ``exec.simt_launches``.
+  ``REPRO_SIMT=0`` disables the SIMT tier (pre-SIMT fallback classes).
 * Repeated launches of the same shape skip tracing entirely through the
   cross-launch :mod:`~repro.exec.trace_cache` (``exec.trace_cache_hits`` /
-  ``exec.trace_cache_misses``; disable with ``REPRO_TRACE_CACHE=0``).
+  ``exec.trace_cache_misses``; disable with ``REPRO_TRACE_CACHE=0``) —
+  including divergent/atomic SIMT traces, which are verified against
+  their recorded mask schedule on every replay.
 """
 
 from repro.exec.base import ExecutionBackend, make_backend
 from repro.exec.interpreter import InterpreterBackend
 from repro.exec.batched import BatchedBackend
-from repro.exec.trace_cache import TraceCache, TraceEntry, trace_key
+from repro.exec.simt import LaunchFallback, SimtPlan
+from repro.exec.trace_cache import (
+    SimtTraceEntry,
+    TraceCache,
+    TraceEntry,
+    trace_key,
+)
 
 __all__ = [
     "ExecutionBackend",
     "InterpreterBackend",
     "BatchedBackend",
+    "LaunchFallback",
+    "SimtPlan",
+    "SimtTraceEntry",
     "TraceCache",
     "TraceEntry",
     "make_backend",

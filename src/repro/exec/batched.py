@@ -3,76 +3,87 @@
 The paper's kernels launch thousands of *structurally identical* µthreads:
 every body µthread runs the same code over a different stride-sized pool
 slice, and one launch is bulk-synchronous (§III-E/G).  This backend
-exploits that regularity:
+exploits that regularity with two vectorized engines:
 
-* **Functional execution** happens in one numpy-vectorized lockstep walk of
-  the kernel body: registers become arrays over the whole launch (``x2`` is
-  the vector ``[0, stride, 2*stride, ...]``), each decoded instruction
-  executes once for all µthreads, and control flow follows the (verified)
-  launch-uniform branch outcomes.  Memory results are identical to the
-  interpreter's — stores are buffered during the walk and committed only
-  when it succeeds, so a mid-walk fallback leaves memory untouched.
+* **Launch-uniform walk** (this module): registers become arrays over the
+  whole launch (``x2`` is the vector ``[0, stride, 2*stride, ...]``), each
+  decoded instruction executes once for all µthreads, and control flow
+  follows the (verified) launch-uniform branch outcomes.  Memory results
+  are identical to the interpreter's — stores are buffered during the walk
+  and committed only when it succeeds.
+
+* **Masked SIMT walk** (:mod:`repro.exec.simt`): the formerly-fallback
+  launch classes — initializer/finalizer phases, atomics, indexed
+  gathers/scatters, scratchpad state, µthread-divergent branches,
+  sub-threshold launch sizes — execute as numpy lanes under an
+  active-mask stack with reconvergence at immediate post-dominators,
+  deterministic lane-ordered AMO grouping and per-unit scratchpad
+  shadows.  Only translation faults and genuine read-after-write races
+  through memory still reach the interpreter.
 
 * **Timing** is replayed analytically from the recorded dynamic trace: the
-  per-FU instruction counts of one µthread bound per-sub-core issue
-  throughput, a per-thread latency estimate bounds the wave depth, and the
-  launch's sector-unique global address stream is paced through the
-  device's *real* memory-side L2 and banked-DRAM virtual-time models, so
-  bandwidth saturation, row locality and HDM back-invalidation still come
-  from the existing servers.  The whole stream is charged through the bulk
+  per-FU instruction counts bound per-sub-core issue throughput, a
+  per-thread latency estimate bounds the wave depth, and the launch's
+  sector-unique global address stream is paced through the device's *real*
+  memory-side L2 and banked-DRAM virtual-time models via the bulk charge
   APIs (``SectorCache.access_batch``, ``DRAMModel.access_batch``,
-  ``BandwidthServer.charge_batch``) in O(stream) vectorized work, and the
-  launch's issue pressure is applied to the sub-core servers via
-  ``IssueServer.service_batch``.  Launch runtime is therefore a roofline
-  ``max(issue throughput, memory system, latency x waves)`` rather than an
-  event-by-event FGMT schedule; it tracks the interpreter closely for the
-  bulk launches this path accepts, but it is not bit-identical.
+  ``BandwidthServer.charge_batch``), so bandwidth saturation, row locality
+  and HDM back-invalidation still come from the existing servers.  Launch
+  runtime is a roofline ``max(issue throughput, memory system, latency x
+  waves)`` rather than an event-by-event FGMT schedule; it tracks the
+  interpreter closely but is not bit-identical.
 
 * **Repeats are nearly free**: every traced launch is recorded in the
   cross-launch :mod:`~repro.exec.trace_cache` keyed by (kernel code hash,
-  pool region, stride, offset bias, ASID, argument bytes).  The Nth launch
-  of the same shape — including the per-device sub-launches a cluster
-  scheduler fans out — skips tracing and sector derivation, re-running
-  only the functional replay (verified step-by-step against the recorded
-  trace) plus the analytic timing fill-in against live L2/DRAM state.
+  pool region, stride, offset bias, ASID, argument bytes).  Uniform
+  launches cache their trace aggregates; SIMT launches additionally cache
+  the recorded *mask schedule*, verified lane-for-lane on every replay.
 
 Automatic fallback
 ------------------
 
-``register_execution`` silently falls back to the inherited interpreter
-path (per launch, counted in ``exec.batched_fallbacks``) whenever the
-launch is not replayable:
-
-* initializer/finalizer sections or multiple bodies (phase barriers),
-* any atomic (``amo*``/``vamo*``) — e.g. histogram and graph reductions,
-  whose data-dependent AMO interleaving the interpreter models exactly,
-* indexed vector gathers/scatters (data-dependent addresses),
-* scratchpad stores (per-unit state), mixed scratchpad/global address
-  vectors, or µthread-divergent branches,
-* loads that overlap earlier buffered stores (read-after-write through
-  memory), translation faults, or launches too small to amortize tracing.
+``register_execution`` falls back to the inherited interpreter path (per
+launch, counted in ``exec.batched_fallbacks`` and attributed under
+``exec.fallback_reason.<class>``) only when neither engine can reproduce
+the interpreter's bytes: translation faults, read-after-write through
+memory (a load overlapping a buffered store, or cross-lane races the
+SIMT hazard detector refuses to order), order-sensitive atomic
+contention, trace-cap blowouts, and unsupported instructions.  Set
+``REPRO_SIMT=0`` to disable the SIMT engine and restore the pre-SIMT
+fallback classes (phases / atomics / gathers / divergence / scratchpad /
+small launches go back to the interpreter).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import os
 
 import numpy as np
 
-from repro.errors import TranslationFault
 from repro.exec.base import register_backend
 from repro.exec.interpreter import InterpreterBackend
+from repro.exec.simt import (
+    MAX_TRACE_STEPS,
+    LaunchFallback,
+    SimtPlan,
+    Translator,
+    merge_streams,
+    step_sectors,
+)
 from repro.exec.trace_cache import (
     CachedStep,
+    SimtTraceEntry,
     StaleTrace,
     TraceCache,
     TraceEntry,
     trace_key,
 )
+from repro.isa import vectorops as vo
 from repro.isa.encoding import FUnit, Instruction, OpClass
+from repro.isa.registers import to_signed64
 from repro.isa.vector import vlmax
-from repro.mem.physical import PAGE_SIZE
+from repro.isa.vectorops import UnsupportedVectorOp
 from repro.ndp.generator import (
     ARG_SLOT_BYTES,
     SPAWN_LATENCY_NS,
@@ -80,139 +91,27 @@ from repro.ndp.generator import (
 )
 from repro.ndp.tlb import PAGE_SHIFT
 from repro.ndp.unit import CROSSBAR_NS
-from repro.isa.registers import to_signed64
 
-#: Launches smaller than this run on the interpreter: tracing cannot be
-#: amortized and latency effects (which the interpreter models exactly)
-#: dominate short launches.
+#: Launches smaller than this skip the launch-uniform walk: tracing cannot
+#: be amortized and latency effects dominate short launches, which the
+#: masked engine (or, with ``REPRO_SIMT=0``, the interpreter) handles.
 MIN_BATCH_UTHREADS = 64
-
-#: Safety cap on the dynamic trace length of one µthread.
-MAX_TRACE_STEPS = 200_000
-
-_PAGE_MASK = PAGE_SIZE - 1
-
-#: Op classes the vectorized walk never attempts.
-_UNBATCHABLE = {OpClass.AMO, OpClass.VAMO, OpClass.VGATHER, OpClass.VSCATTER}
 
 _ZERO_X = np.zeros((), dtype=np.int64)
 _ZERO_F = np.zeros((), dtype=np.float64)
 
+#: Op classes the launch-uniform walk never attempts (structural routing).
+_UNBATCHABLE = {
+    OpClass.AMO: "atomic",
+    OpClass.VAMO: "atomic",
+    OpClass.VGATHER: "gather",
+    OpClass.VSCATTER: "gather",
+}
 
-class _Fallback(Exception):
-    """Raised when a launch cannot be executed on the batched path."""
+#: Uniform-walk fallback classes the SIMT engine can absorb.
+_RETRY_SIMT_SLUGS = {"divergent", "scratchpad", "vconfig"}
 
-
-# ---------------------------------------------------------------------------
-# numpy bit-pattern helpers (vectorized analogues of repro.isa.vector)
-# ---------------------------------------------------------------------------
-
-
-def _sign_extend(patterns: np.ndarray, sew: int) -> np.ndarray:
-    """uint64 element patterns -> sign-extended int64 values."""
-    vals = patterns.astype(np.int64)
-    if sew == 64:
-        return vals
-    shift = np.int64(64 - sew)
-    return (vals << shift) >> shift
-
-
-def _to_pattern(vals, sew: int) -> np.ndarray:
-    """Wrap (possibly signed) values into uint64 patterns of width sew."""
-    out = np.asarray(vals).astype(np.int64).astype(np.uint64)
-    if sew < 64:
-        out = out & np.uint64((1 << sew) - 1)
-    return out
-
-
-def _bits_to_float(patterns: np.ndarray, sew: int) -> np.ndarray:
-    p = np.ascontiguousarray(patterns, dtype=np.uint64)
-    if sew == 64:
-        return p.view(np.float64)
-    if sew == 32:
-        return p.astype(np.uint32).view(np.float32).astype(np.float64)
-    raise _Fallback(f"no float interpretation for SEW {sew}")
-
-
-def _float_to_bits(vals, sew: int) -> np.ndarray:
-    v = np.ascontiguousarray(vals, dtype=np.float64)
-    if sew == 64:
-        return v.view(np.uint64).copy()
-    if sew == 32:
-        return np.ascontiguousarray(v.astype(np.float32)).view(
-            np.uint32).astype(np.uint64)
-    raise _Fallback(f"no float representation for SEW {sew}")
-
-
-_LE_VIEW_DTYPES = {1: np.dtype("u1"), 2: np.dtype("<u2"),
-                   4: np.dtype("<u4"), 8: np.dtype("<u8")}
-
-
-def _from_le_bytes(raw: np.ndarray) -> np.ndarray:
-    """(..., size) uint8 -> (...,) uint64, little endian."""
-    size = raw.shape[-1]
-    dtype = _LE_VIEW_DTYPES.get(size)
-    if dtype is not None:
-        # one reinterpreting view + widen instead of a per-byte loop
-        contiguous = np.ascontiguousarray(raw).reshape(-1, size)
-        return contiguous.view(dtype).reshape(raw.shape[:-1]).astype(
-            np.uint64)
-    out = np.zeros(raw.shape[:-1], dtype=np.uint64)
-    for i in range(size):
-        out |= raw[..., i].astype(np.uint64) << np.uint64(8 * i)
-    return out
-
-
-def _to_le_bytes(vals, size: int) -> np.ndarray:
-    """(...,) uint64 -> (..., size) uint8, little endian."""
-    v = np.asarray(vals, dtype=np.uint64)
-    dtype = _LE_VIEW_DTYPES.get(size)
-    if dtype is not None:
-        narrowed = np.ascontiguousarray(v.astype(dtype)).reshape(-1)
-        return narrowed.view(np.uint8).reshape(v.shape + (size,))
-    out = np.empty(v.shape + (size,), dtype=np.uint8)
-    for i in range(size):
-        out[..., i] = (v >> np.uint64(8 * i)).astype(np.uint8)
-    return out
-
-
-def _per_thread(arr: np.ndarray) -> np.ndarray:
-    """Align a per-thread scalar (n,) with (..., vl) element matrices."""
-    a = np.asarray(arr)
-    return a[:, None] if a.ndim == 1 else a
-
-
-class _Translator:
-    """Vectorized virtual-to-physical translation with a per-launch cache.
-
-    Matches the functional path of :class:`repro.ndp.unit.UnitMemory`:
-    only the *start* address of an access is translated (the allocator maps
-    workload data with identity translations, so contiguity holds).
-    """
-
-    def __init__(self, page_table) -> None:
-        self._table = page_table
-        self._cache: dict[int, int] = {}
-
-    def translate(self, vaddrs: np.ndarray) -> np.ndarray:
-        vpns = np.unique(np.atleast_1d(vaddrs) >> np.int64(PAGE_SHIFT))
-        ppns = np.empty_like(vpns)
-        identity = True
-        for i, vpn in enumerate(vpns):
-            key = int(vpn)
-            ppn = self._cache.get(key)
-            if ppn is None:
-                try:
-                    ppn = self._table.lookup(key).ppn
-                except TranslationFault:
-                    raise _Fallback(f"unmapped page vpn={key:#x}") from None
-                self._cache[key] = ppn
-            ppns[i] = ppn
-            identity = identity and ppn == key
-        if identity:
-            return vaddrs
-        idx = np.searchsorted(vpns, np.asarray(vaddrs) >> np.int64(PAGE_SHIFT))
-        return (ppns[idx] << np.int64(PAGE_SHIFT)) | (vaddrs & _PAGE_MASK)
+_Fallback = LaunchFallback
 
 
 # ---------------------------------------------------------------------------
@@ -242,129 +141,23 @@ class _StoreLog:
 
 
 # ---------------------------------------------------------------------------
-# vectorized functional walk
+# vectorized launch-uniform functional walk
 # ---------------------------------------------------------------------------
 
-#: Scalar memory-op tables (mirrors repro.isa.executor).
-_LOAD_SIGNED = {"lb": 1, "lh": 2, "lw": 4, "ld": 8}
-_LOAD_UNSIGNED = {"lbu": 1, "lhu": 2, "lwu": 4}
-_FP_LOADS = {"flw": 4, "fld": 8}
-_FP_STORES = {"fsw": 4, "fsd": 8}
-_STORES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
 
-
-def _np_srl(a, b):
-    sh = (b & np.int64(63)).astype(np.uint64)
-    return (a.astype(np.uint64) >> sh).astype(np.int64)
-
-
-_INT_BINOPS = {
-    "add": lambda a, b: a + b,
-    "sub": lambda a, b: a - b,
-    "and": lambda a, b: a & b,
-    "or": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-    "sll": lambda a, b: a << (b & np.int64(63)),
-    "srl": _np_srl,
-    "sra": lambda a, b: a >> (b & np.int64(63)),
-    "slt": lambda a, b: (a < b).astype(np.int64),
-    "sltu": lambda a, b: (a.astype(np.uint64) < b.astype(np.uint64)).astype(np.int64),
-    "mul": lambda a, b: a * b,
-}
-
-_INT_IMMOPS = {
-    "addi": "add", "andi": "and", "ori": "or", "xori": "xor",
-    "slli": "sll", "srli": "srl", "srai": "sra",
-    "slti": "slt", "sltiu": "sltu",
-}
-
-_FP_BINOPS = {
-    "fadd.s": lambda a, b: a + b, "fadd.d": lambda a, b: a + b,
-    "fsub.s": lambda a, b: a - b, "fsub.d": lambda a, b: a - b,
-    "fmul.s": lambda a, b: a * b, "fmul.d": lambda a, b: a * b,
-    "fdiv.s": lambda a, b: a / b, "fdiv.d": lambda a, b: a / b,
-    "fmax.d": np.maximum, "fmin.d": np.minimum,
-}
-
-_FP_COMPARES = {
-    "flt.d": lambda a, b: (a < b).astype(np.int64),
-    "fle.d": lambda a, b: (a <= b).astype(np.int64),
-    "feq.d": lambda a, b: (a == b).astype(np.int64),
-}
-
-_BRANCHES = {
-    "beq": lambda a, b: a == b,
-    "bne": lambda a, b: a != b,
-    "blt": lambda a, b: a < b,
-    "bge": lambda a, b: a >= b,
-    "bltu": lambda a, b: a.astype(np.uint64) < b.astype(np.uint64),
-    "bgeu": lambda a, b: a.astype(np.uint64) >= b.astype(np.uint64),
-}
-
-_BRANCHES_Z = {
-    "beqz": lambda a: a == 0,
-    "bnez": lambda a: a != 0,
-    "blez": lambda a: a <= 0,
-    "bgez": lambda a: a >= 0,
-    "bltz": lambda a: a < 0,
-    "bgtz": lambda a: a > 0,
-}
-
-_V_INT_BINOPS = {
-    "vadd.vv": lambda a, b: a + b,
-    "vsub.vv": lambda a, b: a - b,
-    "vmul.vv": lambda a, b: a * b,
-}
-
-_V_INT_SCALAR = {
-    "vadd.vx": lambda a, s: a + s,
-    "vmul.vx": lambda a, s: a * s,
-    "vand.vx": lambda a, s: a & s,
-}
-
-_V_INT_IMM = {
-    "vadd.vi": lambda a, s: a + s,
-    "vsll.vi": lambda a, s: a << s,
-    "vsrl.vi": lambda a, s: a >> s,
-}
-
-_V_FP_BINOPS = {
-    "vfadd.vv": lambda a, b: a + b,
-    "vfsub.vv": lambda a, b: a - b,
-    "vfmul.vv": lambda a, b: a * b,
-}
-
-_V_FP_SCALAR = {
-    "vfadd.vf": lambda a, s: a + s,
-    "vfmul.vf": lambda a, s: a * s,
-}
-
-_V_INT_COMPARES = {
-    "vmseq.vx": lambda a, s: a == s,
-    "vmsne.vx": lambda a, s: a != s,
-    "vmslt.vx": lambda a, s: a < s,
-    "vmsle.vx": lambda a, s: a <= s,
-    "vmsgt.vx": lambda a, s: a > s,
-    "vmsge.vx": lambda a, s: a >= s,
-}
-
-_V_FP_COMPARES = {
-    "vmflt.vf": lambda a, s: a < s,
-    "vmfle.vf": lambda a, s: a <= s,
-    "vmfgt.vf": lambda a, s: a > s,
-    "vmfge.vf": lambda a, s: a >= s,
-}
-
-
-@dataclass
 class _MemStep:
     """One memory instruction of the trace, as executed by all µthreads."""
 
-    is_spad: bool
-    size: int                      # bytes per µthread access
-    is_write: bool
-    paddrs: np.ndarray | None      # global steps: per-thread start addresses
-    vaddrs: np.ndarray | None = None   # pre-translation addresses (cache key)
+    __slots__ = ("is_spad", "size", "is_write", "paddrs", "vaddrs")
+
+    def __init__(self, is_spad: bool, size: int, is_write: bool,
+                 paddrs: np.ndarray | None,
+                 vaddrs: np.ndarray | None = None) -> None:
+        self.is_spad = is_spad
+        self.size = size
+        self.is_write = is_write
+        self.paddrs = paddrs
+        self.vaddrs = vaddrs
 
 
 class _Done(Exception):
@@ -391,7 +184,7 @@ class _BatchReplay:
         self.trace: list[Instruction] = []
         self.mem_steps: list[_MemStep] = []
         self.log = _StoreLog()
-        self.translator = _Translator(device.page_table(instance.asid))
+        self.translator = Translator(device.page_table(instance.asid))
         self._entry = entry
         self._mem_i = 0
         self._executed = 0
@@ -439,13 +232,14 @@ class _BatchReplay:
         limit = vlmax(sew)
         return limit if self.vl is None else min(self.vl, limit)
 
-    def _uniform_int(self, arr: np.ndarray, what: str) -> int:
+    def _uniform_int(self, arr: np.ndarray, what: str,
+                     slug: str = "divergent") -> int:
         a = np.asarray(arr)
         if a.ndim == 0:
             return int(a)
         first = a.flat[0]
         if not np.all(a == first):
-            raise _Fallback(f"µthread-divergent {what}")
+            raise _Fallback(f"µthread-divergent {what}", slug)
         return int(first)
 
     # -- memory -----------------------------------------------------------
@@ -457,7 +251,8 @@ class _BatchReplay:
         if in_spad.all():
             return True
         if in_spad.any():
-            raise _Fallback("mixed scratchpad/global access vector")
+            raise _Fallback("mixed scratchpad/global access vector",
+                            "scratchpad")
         return False
 
     def _next_cached_step(self, is_spad: bool, size: int,
@@ -481,7 +276,8 @@ class _BatchReplay:
             if lo < self._args_lo or hi > self._args_hi:
                 # outside the argument block: per-unit state (unit 0's copy
                 # is not representative), so hand the launch back
-                raise _Fallback("scratchpad load outside the argument block")
+                raise _Fallback("scratchpad load outside the argument block",
+                                "scratchpad")
             if self._entry is not None:
                 self._next_cached_step(True, size, False)
             else:
@@ -504,7 +300,7 @@ class _BatchReplay:
             hi = (int(paddrs.max()) if paddrs.ndim else int(paddrs)) + size
             if self.log.overlaps(lo, hi):
                 raise _Fallback(
-                    "load overlaps a buffered store (RAW via memory)")
+                    "load overlaps a buffered store (RAW via memory)", "raw")
             self.mem_steps.append(_MemStep(False, size, False, paddrs, addr))
         return self.device.physical.gather_rows(paddrs, size)
 
@@ -512,7 +308,7 @@ class _BatchReplay:
         """Buffer a store of (..., size) uint8 rows at per-µthread addrs."""
         addr = np.asarray(addr, dtype=np.int64)
         if self._classify(addr):
-            raise _Fallback("scratchpad store in kernel body")
+            raise _Fallback("scratchpad store in kernel body", "scratchpad")
         size = data.shape[-1]
         if self._entry is not None:
             step = self._next_cached_step(False, size, True)
@@ -543,7 +339,7 @@ class _BatchReplay:
             try:
                 while pc < count:
                     if self._executed >= MAX_TRACE_STEPS:
-                        raise _Fallback("trace exceeds step cap")
+                        raise _Fallback("trace exceeds step cap", "cap")
                     inst = instructions[pc]
                     self._executed += 1
                     if record:
@@ -551,6 +347,8 @@ class _BatchReplay:
                     pc = self._step(inst, pc)
             except _Done:
                 pass
+            except UnsupportedVectorOp as exc:
+                raise _Fallback(str(exc)) from None
         if not record and (self._executed != self._entry.trace_len
                            or self._mem_i != len(self._entry.steps)):
             raise StaleTrace("control flow diverged from cached trace")
@@ -589,14 +387,14 @@ class _BatchReplay:
     def _exec_alu(self, inst: Instruction) -> None:
         m = inst.mnemonic
         xr, fr = self.xr, self.fr
-        if m in _INT_BINOPS:
-            self._wx(inst.rd, _INT_BINOPS[m](
+        if m in vo.INT_BINOPS:
+            self._wx(inst.rd, vo.INT_BINOPS[m](
                 np.asarray(xr[inst.rs1]), np.asarray(xr[inst.rs2])))
-        elif m in _INT_IMMOPS:
-            self._wx(inst.rd, _INT_BINOPS[_INT_IMMOPS[m]](
+        elif m in vo.INT_IMMOPS:
+            self._wx(inst.rd, vo.INT_BINOPS[vo.INT_IMMOPS[m]](
                 np.asarray(xr[inst.rs1]), np.int64(inst.imm)))
         elif m in ("addw", "mulw"):
-            base = _INT_BINOPS["add" if m == "addw" else "mul"]
+            base = vo.INT_BINOPS["add" if m == "addw" else "mul"]
             res = base(np.asarray(xr[inst.rs1]), np.asarray(xr[inst.rs2]))
             self._wx(inst.rd, res.astype(np.int32))
         elif m == "li":
@@ -611,11 +409,11 @@ class _BatchReplay:
             self._wx(inst.rd, (np.asarray(xr[inst.rs1]) == 0).astype(np.int64))
         elif m == "snez":
             self._wx(inst.rd, (np.asarray(xr[inst.rs1]) != 0).astype(np.int64))
-        elif m in _FP_BINOPS:
-            self._wf(inst.rd, _FP_BINOPS[m](
+        elif m in vo.FP_BINOPS:
+            self._wf(inst.rd, vo.FP_BINOPS[m](
                 np.asarray(fr[inst.rs1]), np.asarray(fr[inst.rs2])))
-        elif m in _FP_COMPARES:
-            self._wx(inst.rd, _FP_COMPARES[m](
+        elif m in vo.FP_COMPARES:
+            self._wx(inst.rd, vo.FP_COMPARES[m](
                 np.asarray(fr[inst.rs1]), np.asarray(fr[inst.rs2])))
         elif m == "fmadd.d":
             self._wf(inst.rd,
@@ -645,11 +443,11 @@ class _BatchReplay:
         m = inst.mnemonic
         if m == "j":
             return inst.target
-        if m in _BRANCHES:
-            cond = _BRANCHES[m](np.asarray(self.xr[inst.rs1]),
-                                np.asarray(self.xr[inst.rs2]))
-        elif m in _BRANCHES_Z:
-            cond = _BRANCHES_Z[m](np.asarray(self.xr[inst.rs1]))
+        if m in vo.BRANCHES:
+            cond = vo.BRANCHES[m](np.asarray(self.xr[inst.rs1]),
+                                  np.asarray(self.xr[inst.rs2]))
+        elif m in vo.BRANCHES_Z:
+            cond = vo.BRANCHES_Z[m](np.asarray(self.xr[inst.rs1]))
         else:
             raise _Fallback(f"unsupported branch {m}")
         taken = bool(self._uniform_int(np.asarray(cond), "branch"))
@@ -658,34 +456,35 @@ class _BatchReplay:
     def _exec_load(self, inst: Instruction) -> None:
         addr = np.asarray(self.xr[inst.rs1]) + np.int64(inst.imm)
         m = inst.mnemonic
-        if m in _FP_LOADS:
-            size = _FP_LOADS[m]
-            bits = _from_le_bytes(self._load(addr, size))
-            self._wf(inst.rd, _bits_to_float(bits, size * 8))
+        if m in vo.FP_LOADS:
+            size = vo.FP_LOADS[m]
+            bits = vo.from_le_bytes(self._load(addr, size))
+            self._wf(inst.rd, vo.bits_to_float(bits, size * 8))
             return
-        size = _LOAD_SIGNED.get(m) or _LOAD_UNSIGNED[m]
-        value = _from_le_bytes(self._load(addr, size))
-        if m in _LOAD_SIGNED:
-            self._wx(inst.rd, _sign_extend(value, size * 8))
+        size = vo.LOAD_SIGNED.get(m) or vo.LOAD_UNSIGNED[m]
+        value = vo.from_le_bytes(self._load(addr, size))
+        if m in vo.LOAD_SIGNED:
+            self._wx(inst.rd, vo.sign_extend(value, size * 8))
         else:
             self._wx(inst.rd, value.astype(np.int64))
 
     def _exec_store(self, inst: Instruction) -> None:
         addr = np.asarray(self.xr[inst.rs1]) + np.int64(inst.imm)
         m = inst.mnemonic
-        if m in _FP_STORES:
-            size = _FP_STORES[m]
-            bits = _float_to_bits(self.fr[inst.rs2], size * 8)
+        if m in vo.FP_STORES:
+            size = vo.FP_STORES[m]
+            bits = vo.float_to_bits(self.fr[inst.rs2], size * 8)
         else:
-            size = _STORES[m]
+            size = vo.STORES[m]
             bits = np.asarray(self.xr[inst.rs2]).astype(np.uint64)
-        self._store(addr, _to_le_bytes(bits, size))
+        self._store(addr, vo.to_le_bytes(bits, size))
 
     # -- vector -----------------------------------------------------------
 
     def _exec_vset(self, inst: Instruction) -> None:
         sew = inst.imm
-        requested = self._uniform_int(np.asarray(self.xr[inst.rs1]), "vsetvli AVL")
+        requested = self._uniform_int(np.asarray(self.xr[inst.rs1]),
+                                      "vsetvli AVL", "vconfig")
         if requested < 0:
             raise _Fallback(f"vsetvli with negative AVL {requested}")
         vl = min(requested, vlmax(sew))
@@ -701,7 +500,7 @@ class _BatchReplay:
             return
         addr = np.asarray(self.xr[inst.rs1]) + np.int64(inst.imm)
         raw = self._load(addr, vl * inst.size)
-        self.vr[inst.rd] = _from_le_bytes(
+        self.vr[inst.rd] = vo.from_le_bytes(
             raw.reshape(raw.shape[:-1] + (vl, inst.size))
         )
 
@@ -711,8 +510,8 @@ class _BatchReplay:
         if vl == 0:
             return
         addr = np.asarray(self.xr[inst.rs1]) + np.int64(inst.imm)
-        values = _to_pattern(self._read_v(inst.rd, vl).astype(np.int64), sew)
-        raw = _to_le_bytes(values, inst.size)
+        values = vo.to_pattern(self._read_v(inst.rd, vl).astype(np.int64), sew)
+        raw = vo.to_le_bytes(values, inst.size)
         self._store(addr, raw.reshape(raw.shape[:-2] + (vl * inst.size,)))
 
     def _exec_valu(self, inst: Instruction) -> None:
@@ -720,49 +519,49 @@ class _BatchReplay:
         sew = self.sew
         vl = self._eff_vl(sew)
 
-        if m in _V_INT_BINOPS:
-            a = _sign_extend(self._read_v(inst.rs1, vl), sew)
-            b = _sign_extend(self._read_v(inst.rs2, vl), sew)
-            self.vr[inst.rd] = _to_pattern(_V_INT_BINOPS[m](a, b), sew)
-        elif m in _V_INT_SCALAR:
-            a = _sign_extend(self._read_v(inst.rs1, vl), sew)
-            s = _per_thread(np.asarray(self.xr[inst.rs2]))
-            self.vr[inst.rd] = _to_pattern(_V_INT_SCALAR[m](a, s), sew)
-        elif m in _V_INT_IMM:
-            a = _sign_extend(self._read_v(inst.rs1, vl), sew)
-            self.vr[inst.rd] = _to_pattern(
-                _V_INT_IMM[m](a, np.int64(inst.imm)), sew)
+        if m in vo.V_INT_BINOPS:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            b = vo.sign_extend(self._read_v(inst.rs2, vl), sew)
+            self.vr[inst.rd] = vo.to_pattern(vo.V_INT_BINOPS[m](a, b), sew)
+        elif m in vo.V_INT_SCALAR:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(np.asarray(self.xr[inst.rs2]))
+            self.vr[inst.rd] = vo.to_pattern(vo.V_INT_SCALAR[m](a, s), sew)
+        elif m in vo.V_INT_IMM:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            self.vr[inst.rd] = vo.to_pattern(
+                vo.V_INT_IMM[m](a, np.int64(inst.imm)), sew)
         elif m == "vmacc.vv":
-            a = _sign_extend(self._read_v(inst.rs1, vl), sew)
-            b = _sign_extend(self._read_v(inst.rs2, vl), sew)
-            d = _sign_extend(self._read_v(inst.rd, vl), sew)
-            self.vr[inst.rd] = _to_pattern(d + a * b, sew)
-        elif m in _V_FP_BINOPS:
-            a = _bits_to_float(self._read_v(inst.rs1, vl), sew)
-            b = _bits_to_float(self._read_v(inst.rs2, vl), sew)
-            self.vr[inst.rd] = _float_to_bits(_V_FP_BINOPS[m](a, b), sew)
-        elif m in _V_FP_SCALAR:
-            a = _bits_to_float(self._read_v(inst.rs1, vl), sew)
-            s = _per_thread(np.asarray(self.fr[inst.rs2]))
-            self.vr[inst.rd] = _float_to_bits(_V_FP_SCALAR[m](a, s), sew)
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            b = vo.sign_extend(self._read_v(inst.rs2, vl), sew)
+            d = vo.sign_extend(self._read_v(inst.rd, vl), sew)
+            self.vr[inst.rd] = vo.to_pattern(d + a * b, sew)
+        elif m in vo.V_FP_BINOPS:
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            b = vo.bits_to_float(self._read_v(inst.rs2, vl), sew)
+            self.vr[inst.rd] = vo.float_to_bits(vo.V_FP_BINOPS[m](a, b), sew)
+        elif m in vo.V_FP_SCALAR:
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(np.asarray(self.fr[inst.rs2]))
+            self.vr[inst.rd] = vo.float_to_bits(vo.V_FP_SCALAR[m](a, s), sew)
         elif m == "vfmacc.vf":
-            a = _bits_to_float(self._read_v(inst.rs1, vl), sew)
-            s = _per_thread(np.asarray(self.fr[inst.rs2]))
-            d = _bits_to_float(self._read_v(inst.rd, vl), sew)
-            self.vr[inst.rd] = _float_to_bits(d + a * s, sew)
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(np.asarray(self.fr[inst.rs2]))
+            d = vo.bits_to_float(self._read_v(inst.rd, vl), sew)
+            self.vr[inst.rd] = vo.float_to_bits(d + a * s, sew)
         elif m == "vfmacc.vv":
-            a = _bits_to_float(self._read_v(inst.rs1, vl), sew)
-            b = _bits_to_float(self._read_v(inst.rs2, vl), sew)
-            d = _bits_to_float(self._read_v(inst.rd, vl), sew)
-            self.vr[inst.rd] = _float_to_bits(d + a * b, sew)
-        elif m in _V_INT_COMPARES:
-            a = _sign_extend(self._read_v(inst.rs1, vl), sew)
-            s = _per_thread(np.asarray(self.xr[inst.rs2]))
-            self.vr[inst.rd] = _V_INT_COMPARES[m](a, s).astype(np.uint64)
-        elif m in _V_FP_COMPARES:
-            a = _bits_to_float(self._read_v(inst.rs1, vl), sew)
-            s = _per_thread(np.asarray(self.fr[inst.rs2]))
-            self.vr[inst.rd] = _V_FP_COMPARES[m](a, s).astype(np.uint64)
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            b = vo.bits_to_float(self._read_v(inst.rs2, vl), sew)
+            d = vo.bits_to_float(self._read_v(inst.rd, vl), sew)
+            self.vr[inst.rd] = vo.float_to_bits(d + a * b, sew)
+        elif m in vo.V_INT_COMPARES:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(np.asarray(self.xr[inst.rs2]))
+            self.vr[inst.rd] = vo.V_INT_COMPARES[m](a, s).astype(np.uint64)
+        elif m in vo.V_FP_COMPARES:
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(np.asarray(self.fr[inst.rs2]))
+            self.vr[inst.rd] = vo.V_FP_COMPARES[m](a, s).astype(np.uint64)
         elif m in ("vmand.mm", "vmor.mm"):
             a = self._read_v(inst.rs1, vl) != 0
             b = self._read_v(inst.rs2, vl) != 0
@@ -770,38 +569,38 @@ class _BatchReplay:
             self.vr[inst.rd] = out.astype(np.uint64)
         elif m == "vmerge.vxm":
             a = self._read_v(inst.rs1, vl)
-            s = _to_pattern(_per_thread(np.asarray(self.xr[inst.rs2])), sew)
+            s = vo.to_pattern(vo.per_thread(np.asarray(self.xr[inst.rs2])), sew)
             mask = self._read_v(0, vl) != 0
             self.vr[inst.rd] = np.where(mask, s, a)
         elif m == "vmerge.vim":
             a = self._read_v(inst.rs1, vl)
             mask = self._read_v(0, vl) != 0
             self.vr[inst.rd] = np.where(
-                mask, _to_pattern(np.int64(inst.imm), sew), a)
+                mask, vo.to_pattern(np.int64(inst.imm), sew), a)
         elif m == "vmv.v.i":
             self.vr[inst.rd] = np.full(
-                (vl,), _to_pattern(np.int64(inst.imm), sew), dtype=np.uint64)
+                (vl,), vo.to_pattern(np.int64(inst.imm), sew), dtype=np.uint64)
         elif m == "vmv.v.x":
             self.vr[inst.rd] = self._splat(
-                _to_pattern(np.asarray(self.xr[inst.rs1]), sew), vl)
+                vo.to_pattern(np.asarray(self.xr[inst.rs1]), sew), vl)
         elif m == "vmv.v.v":
             self.vr[inst.rd] = self._read_v(inst.rs1, vl).copy()
         elif m == "vid.v":
             self.vr[inst.rd] = np.arange(vl, dtype=np.uint64)
         elif m == "vfmv.v.f":
             self.vr[inst.rd] = self._splat(
-                _float_to_bits(self.fr[inst.rs1], sew), vl)
+                vo.float_to_bits(self.fr[inst.rs1], sew), vl)
         elif m == "vmv.x.s":
             values = self.vr[inst.rs1]
             if values is None or values.shape[-1] == 0:
                 self._wx(inst.rd, np.int64(0))
             else:
-                self._wx(inst.rd, _sign_extend(values[..., 0], sew))
+                self._wx(inst.rd, vo.sign_extend(values[..., 0], sew))
         elif m == "vmv.s.x":
             cur = self.vr[inst.rd]
             k = cur.shape[-1] if cur is not None and cur.shape[-1] else 1
             arr = self._read_v(inst.rd, k)
-            s = _to_pattern(np.asarray(self.xr[inst.rs1]), sew)
+            s = vo.to_pattern(np.asarray(self.xr[inst.rs1]), sew)
             if s.ndim == 1 and arr.ndim == 1:
                 arr = np.broadcast_to(arr, (self.n, k))
             arr = arr.copy()
@@ -812,7 +611,7 @@ class _BatchReplay:
             if values is None or values.shape[-1] == 0:
                 self._wf(inst.rd, 0.0)
             else:
-                self._wf(inst.rd, _bits_to_float(values[..., 0], sew))
+                self._wf(inst.rd, vo.bits_to_float(values[..., 0], sew))
         else:
             raise _Fallback(f"unsupported vector mnemonic {m}")
 
@@ -832,30 +631,30 @@ class _BatchReplay:
         # Element accumulation is an *ordered* loop over the (tiny) vl so
         # float rounding matches the scalar executor exactly.
         if m == "vredsum.vs":
-            acc = _sign_extend(seed, sew)
-            vs = _sign_extend(va, sew)
+            acc = vo.sign_extend(seed, sew)
+            vs = vo.sign_extend(va, sew)
             for j in range(vl):
                 acc = acc + vs[..., j]
-            result = _to_pattern(acc, sew)
+            result = vo.to_pattern(acc, sew)
         elif m in ("vredmax.vs", "vredmin.vs"):
             op = np.maximum if m == "vredmax.vs" else np.minimum
-            acc = _sign_extend(seed, sew)
-            vs = _sign_extend(va, sew)
+            acc = vo.sign_extend(seed, sew)
+            vs = vo.sign_extend(va, sew)
             for j in range(vl):
                 acc = op(acc, vs[..., j])
-            result = _to_pattern(acc, sew)
+            result = vo.to_pattern(acc, sew)
         elif m == "vfredusum.vs":
-            acc = _bits_to_float(seed, sew)
-            vs = _bits_to_float(va, sew)
+            acc = vo.bits_to_float(seed, sew)
+            vs = vo.bits_to_float(va, sew)
             for j in range(vl):
                 acc = acc + vs[..., j]
-            result = _float_to_bits(acc, sew)
+            result = vo.float_to_bits(acc, sew)
         elif m == "vfredmax.vs":
-            acc = _bits_to_float(seed, sew)
-            vs = _bits_to_float(va, sew)
+            acc = vo.bits_to_float(seed, sew)
+            vs = vo.bits_to_float(va, sew)
             for j in range(vl):
                 acc = np.maximum(acc, vs[..., j])
-            result = _float_to_bits(acc, sew)
+            result = vo.float_to_bits(acc, sew)
         else:
             raise _Fallback(f"unsupported reduction {m}")
         self.vr[inst.rd] = np.asarray(result, dtype=np.uint64)[..., None]
@@ -867,13 +666,14 @@ class _BatchReplay:
 
 
 class BatchedBackend(InterpreterBackend):
-    """Batched fast path with automatic per-launch interpreter fallback.
+    """Batched fast path with automatic per-launch engine routing.
 
-    Launch execution is two-tier: a full *trace* (vectorized walk that
-    records memory steps and derives the launch's sector streams) on the
-    first sighting of a launch shape, and a cached *replay* (functional
-    walk only, verified against the recorded trace) for every repeat —
-    see :mod:`repro.exec.trace_cache`.
+    Launch execution is three-tier: the launch-uniform *trace/replay*
+    walk for bulk branch-uniform launches, the masked *SIMT* engine
+    (:mod:`repro.exec.simt`) for the formerly-fallback classes, and the
+    inherited per-µthread interpreter for the residue (translation
+    faults, RAW through memory) — attributed per class in
+    ``exec.fallback_reason.<slug>`` counters.
     """
 
     name = "batched"
@@ -881,43 +681,96 @@ class BatchedBackend(InterpreterBackend):
     def __init__(self, device) -> None:
         super().__init__(device)
         self.trace_cache = TraceCache.from_env()
+        self.simt_enabled = os.environ.get("REPRO_SIMT", "1") != "0"
+
+    # ------------------------------------------------------------------
+
+    def _classify(self, execution: KernelExecution) -> tuple[str, str | None]:
+        """Static routing: (engine, reason-slug).
+
+        ``uniform`` launches try the launch-uniform walk first; ``simt``
+        launches go straight to the masked engine; with ``REPRO_SIMT=0``
+        every non-uniform class routes to the interpreter, restoring the
+        pre-SIMT behaviour.
+        """
+        program = execution.instance.kernel.program
+        reason = None
+        if (program.initializer is not None or program.finalizer is not None
+                or len(program.bodies) != 1):
+            reason = "phases"
+        else:
+            for inst in program.bodies[0].instructions:
+                slug = _UNBATCHABLE.get(inst.op_class)
+                if slug is not None:
+                    reason = slug
+                    break
+            else:
+                if execution.instance.num_body_uthreads < MIN_BATCH_UTHREADS:
+                    reason = "small"
+        if reason is None:
+            return "uniform", None
+        return ("simt" if self.simt_enabled else "interpreter"), reason
 
     def register_execution(self, execution: KernelExecution,
                            now_ns: float) -> None:
         device = self.device
+        cache = self.trace_cache
+        route, why = self._classify(execution)
+        failure: LaunchFallback | None = None
+        if route == "interpreter":
+            failure = LaunchFallback(f"routed to interpreter ({why})", why)
+        key = trace_key(execution) if cache.enabled else None
+
+        if route == "uniform":
+            entry = (cache.lookup(key, device.translation_version)
+                     if cache.enabled else None)
+            if isinstance(entry, SimtTraceEntry):
+                # this shape degraded to the SIMT engine on a prior launch
+                route = "simt"
+            else:
+                failure = self._attempt_uniform(execution, key, entry, now_ns)
+                if failure is None:
+                    return
+                if failure.slug in _RETRY_SIMT_SLUGS and self.simt_enabled:
+                    route, failure = "simt", None
+
+        if route == "simt" and failure is None:
+            failure = self._attempt_simt(execution, key, now_ns)
+            if failure is None:
+                return
+
+        device.stats.add("exec.batched_fallbacks")
+        device.stats.add(f"exec.fallback_reason.{failure.slug}")
+        super().register_execution(execution, now_ns)
+
+    # ------------------------------------------------------------------
+
+    def _attempt_uniform(self, execution: KernelExecution, key,
+                         entry: TraceEntry | None,
+                         now_ns: float) -> LaunchFallback | None:
+        """Launch-uniform tier; returns the fallback on failure."""
+        device = self.device
+        cache = self.trace_cache
         plan = None
-        entry = None
-        key = None
-        reason = self._reject_reason(execution)
-        if reason is None:
-            cache = self.trace_cache
-            if cache.enabled:
-                key = trace_key(execution)
-                entry = cache.lookup(key, device.translation_version)
-            if entry is not None:
-                try:
-                    plan = _BatchReplay(device, execution, entry=entry).run()
-                    device.stats.add("exec.trace_cache_hits")
-                except (StaleTrace, _Fallback):
-                    # behaviour diverged from the recorded trace (data-
-                    # dependent control flow or addressing): retrace
-                    cache.invalidate(key)
-                    plan = None
-                    entry = None
-            if plan is None:
-                try:
-                    plan = _BatchReplay(device, execution).run()
-                except _Fallback as exc:
-                    reason = str(exc)
-                else:
-                    entry = self._build_entry(plan)
-                    if cache.enabled:
-                        device.stats.add("exec.trace_cache_misses")
-                        cache.store(key, entry)
+        if entry is not None:
+            try:
+                plan = _BatchReplay(device, execution, entry=entry).run()
+                device.stats.add("exec.trace_cache_hits")
+            except (StaleTrace, LaunchFallback, UnsupportedVectorOp):
+                # behaviour diverged from the recorded trace (data-
+                # dependent control flow or addressing): retrace
+                cache.invalidate(key)
+                plan = None
+                entry = None
         if plan is None:
-            device.stats.add("exec.batched_fallbacks")
-            super().register_execution(execution, now_ns)
-            return
+            try:
+                plan = _BatchReplay(device, execution).run()
+            except LaunchFallback as exc:
+                return exc
+            entry = self._build_entry(plan)
+            if cache.enabled:
+                device.stats.add("exec.trace_cache_misses")
+                cache.store(key, entry)
         device.stats.add("exec.batched_launches")
         plan.commit()
         # Take ownership of every µthread: a concurrent interpreter refill
@@ -925,6 +778,43 @@ class BatchedBackend(InterpreterBackend):
         execution.consume_plan()
         self._active.append(execution)
         self._schedule_completion(execution, plan.n, entry, now_ns)
+        return None
+
+    def _attempt_simt(self, execution: KernelExecution, key,
+                      now_ns: float) -> LaunchFallback | None:
+        """Masked SIMT tier; returns the fallback on failure."""
+        device = self.device
+        cache = self.trace_cache
+        entry = (cache.lookup(key, device.translation_version)
+                 if cache.enabled else None)
+        if not isinstance(entry, SimtTraceEntry):
+            entry = None
+        plan = None
+        if entry is not None:
+            try:
+                plan = SimtPlan(device, execution, entry=entry).run()
+                device.stats.add("exec.trace_cache_hits")
+            except (StaleTrace, LaunchFallback):
+                # mask schedule or addressing diverged: retrace from scratch
+                cache.invalidate(key)
+                plan = None
+        if plan is None:
+            try:
+                plan = SimtPlan(device, execution).run()
+            except LaunchFallback as exc:
+                return exc
+            if cache.enabled:
+                device.stats.add("exec.trace_cache_misses")
+                cache.store(key, SimtTraceEntry(
+                    translation_version=device.translation_version,
+                    profiles=plan.profiles,
+                ))
+        plan.commit()
+        device.stats.add("exec.simt_launches")
+        execution.consume_plan()
+        self._active.append(execution)
+        plan.schedule(now_ns)
+        return None
 
     # ------------------------------------------------------------------
 
@@ -942,12 +832,12 @@ class BatchedBackend(InterpreterBackend):
             if ms.is_spad:
                 steps.append(CachedStep(True, ms.size, ms.is_write))
                 continue
-            sectors = self._step_sectors(ms, sector_bytes)
+            sectors = step_sectors(ms.paddrs, ms.size, sector_bytes)
             streams.append((sectors, ms.is_write))
             steps.append(CachedStep(False, ms.size, ms.is_write,
                                     vaddrs=ms.vaddrs, paddrs=ms.paddrs,
                                     sector_count=len(sectors)))
-        merged_addrs, merged_writes = self._merge_streams(streams)
+        merged_addrs, merged_writes = merge_streams(streams)
         page_count = int(
             np.unique(merged_addrs >> np.int64(PAGE_SHIFT)).size
         ) if merged_addrs.size else 0
@@ -961,21 +851,6 @@ class BatchedBackend(InterpreterBackend):
             merged_writes=merged_writes,
             page_count=page_count,
         )
-
-    # ------------------------------------------------------------------
-
-    def _reject_reason(self, execution: KernelExecution) -> str | None:
-        program = execution.instance.kernel.program
-        if program.initializer is not None or program.finalizer is not None:
-            return "initializer/finalizer phases"
-        if len(program.bodies) != 1:
-            return "multi-body kernel"
-        if execution.instance.num_body_uthreads < MIN_BATCH_UTHREADS:
-            return "launch below batching threshold"
-        for inst in program.bodies[0].instructions:
-            if inst.op_class in _UNBATCHABLE:
-                return f"kernel uses {inst.op_class.value}"
-        return None
 
     # ------------------------------------------------------------------
 
@@ -1077,56 +952,6 @@ class BatchedBackend(InterpreterBackend):
             execution.finish_now(now)
 
         device.sim.schedule_at(completion, finish)
-
-    @staticmethod
-    def _step_sectors(step: _MemStep, sector_bytes: int) -> np.ndarray:
-        """Unique sector addresses touched by one trace step, ascending.
-
-        Reads are deduped (every unit's L1/the shared L2 would absorb the
-        repeats); write-through writes are coalesced per sector — both are
-        timing-neutral for the hit path, which carries no bandwidth charge.
-        """
-        p = np.atleast_1d(step.paddrs).astype(np.int64)
-        first = p // sector_bytes
-        last = (p + step.size - 1) // sector_bytes
-        span = int((last - first).max()) + 1
-        if span == 1:
-            sectors = first
-        else:
-            grid = first[:, None] + np.arange(span)
-            sectors = grid[grid <= last[:, None]]
-        return np.unique(sectors) * sector_bytes
-
-    @staticmethod
-    def _merge_streams(
-        streams: list[tuple[np.ndarray, bool]],
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Proportionally interleave the per-step sector streams.
-
-        All µthreads progress through the trace roughly together (they are
-        spawned together and FGMT round-robins them), so at any instant the
-        launch's memory traffic mixes *every* step's stream — e.g. column
-        reads interleave with mask writes.  Merging each stream at its own
-        uniform rate reproduces that mix (and its DRAM bank behaviour)
-        instead of an artificially bank-friendly step-by-step sweep.
-        Returns (addresses, is_write) arrays ready for the bulk charge.
-        """
-        if not streams:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
-        if len(streams) == 1:
-            sectors, is_write = streams[0]
-            return (np.asarray(sectors, dtype=np.int64),
-                    np.full(len(sectors), is_write, dtype=bool))
-        positions = np.concatenate([
-            (np.arange(len(sectors)) + 0.5) / max(len(sectors), 1)
-            for sectors, _ in streams
-        ])
-        addrs = np.concatenate([sectors for sectors, _ in streams])
-        writes = np.concatenate([
-            np.full(len(sectors), is_write) for sectors, is_write in streams
-        ])
-        order = np.argsort(positions, kind="stable")
-        return addrs[order].astype(np.int64), writes[order]
 
 
 register_backend(BatchedBackend.name, BatchedBackend)

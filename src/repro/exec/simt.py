@@ -1,0 +1,1792 @@
+"""Masked SIMT execution engine for formerly-fallback launches.
+
+The batched fast path (:mod:`repro.exec.batched`) only covers launches
+whose µthreads march through the kernel in perfect, branch-uniform
+lockstep.  Everything else — initializer/finalizer phases, atomics,
+indexed gathers/scatters, scratchpad state, µthread-divergent control
+flow, sub-threshold launch sizes — used to fall all the way back to the
+per-µthread interpreter, a ~60x wall-clock cliff.  This module executes
+those launches the way GPU simulators do: every µthread is a numpy
+*lane*, divergent control flow is handled with an **active-mask stack**
+that reconverges at immediate post-dominators (if-conversion for hammocks,
+shrinking loop masks for divergent trip counts), and each instruction
+executes once for all active lanes.
+
+Functional guarantees
+---------------------
+
+* **Byte-identical memory results** vs the interpreter for every launch
+  the engine accepts.  Stores are buffered per phase and committed at the
+  phase barrier; AMOs are applied immediately in deterministic lane order,
+  grouped by address (``np.add.at``-style segmented prefix reductions), so
+  commutative integer reductions land on exactly the bytes the
+  interpreter's sequential interleaving produces.  Scratchpads execute on
+  per-unit shadow copies (lane -> NDP unit mapping mirrors the
+  generator's), written back only on success.
+* **Hazard detection, not hazard emulation.**  Cross-lane communication
+  through memory within one phase (a load overlapping another lane's
+  buffered store or applied AMO, conflicting cross-lane stores,
+  order-sensitive AMO overlap such as swaps or float accumulation onto a
+  shared address) makes results depend on the interpreter's scheduling —
+  those launches raise :class:`LaunchFallback` and run on the
+  interpreter, with the launch's memory effects rolled back through an
+  undo log.  Translation faults fall back the same way.
+* **Determinism.**  Given the same launch, the engine always applies AMOs
+  in the same lane order and produces the same ``runtime_ns`` — cached
+  replays verify the recorded mask schedule and address vectors step by
+  step (:class:`~repro.exec.trace_cache.SimtTraceEntry`) and retrace on
+  any divergence, so the trace cache can never change results.
+
+Timing is analytic, like the batched tier: per-FU issue pressure from the
+lane-weighted dynamic trace, a latency floor from a per-unit
+chunked-wave model over per-lane latency estimates (which makes the
+Fig 12a spawn-granularity ablation visible without per-event simulation),
+and the launch's deduplicated sector stream paced through the real
+L2/DRAM servers via the bulk charge APIs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TranslationFault
+from repro.isa import vectorops as vo
+from repro.isa.encoding import FUnit, Instruction, OpClass
+from repro.isa.registers import to_signed64
+from repro.isa.vector import vlmax
+from repro.isa.vectorops import UnsupportedVectorOp
+from repro.mem.physical import PAGE_SIZE
+from repro.ndp.generator import (
+    ARG_SLOT_BYTES,
+    SPAWN_LATENCY_NS,
+    KernelExecution,
+)
+from repro.ndp.tlb import PAGE_SHIFT
+from repro.ndp.unit import ATOMIC_OP_NS, CROSSBAR_NS
+from repro.ndp.uthread import Phase
+
+#: Safety cap on the dynamic trace length of one launch walk.
+MAX_TRACE_STEPS = 200_000
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+#: Fallback classes the backend counts under ``exec.fallback_reason.<slug>``.
+FALLBACK_SLUGS = ("phases", "atomic", "gather", "divergent", "scratchpad",
+                  "raw", "fault", "small", "vconfig", "cap", "unsupported")
+
+
+class LaunchFallback(Exception):
+    """Raised when a launch cannot run on a vectorized engine.
+
+    ``slug`` attributes the fallback to one of :data:`FALLBACK_SLUGS` so
+    ``exec.fallback_reason.<slug>`` counters make the residual interpreter
+    traffic diagnosable instead of one opaque total.
+    """
+
+    def __init__(self, message: str, slug: str = "unsupported") -> None:
+        super().__init__(message)
+        self.slug = slug
+
+
+class _Done(Exception):
+    """Internal control-flow signal: every lane retired."""
+
+
+class Translator:
+    """Vectorized virtual-to-physical translation with a per-launch cache.
+
+    Matches the functional path of :class:`repro.ndp.unit.UnitMemory`:
+    only the *start* address of an access is translated (the allocator maps
+    workload data with identity translations, so contiguity holds).
+    """
+
+    def __init__(self, page_table) -> None:
+        self._table = page_table
+        self._cache: dict[int, int] = {}
+
+    def translate(self, vaddrs: np.ndarray) -> np.ndarray:
+        vpns = np.unique(np.atleast_1d(vaddrs) >> np.int64(PAGE_SHIFT))
+        ppns = np.empty_like(vpns)
+        identity = True
+        for i, vpn in enumerate(vpns):
+            key = int(vpn)
+            ppn = self._cache.get(key)
+            if ppn is None:
+                try:
+                    ppn = self._table.lookup(key).ppn
+                except TranslationFault:
+                    raise LaunchFallback(
+                        f"unmapped page vpn={key:#x}", "fault") from None
+                self._cache[key] = ppn
+            ppns[i] = ppn
+            identity = identity and ppn == key
+        if identity:
+            return vaddrs
+        idx = np.searchsorted(vpns, np.asarray(vaddrs) >> np.int64(PAGE_SHIFT))
+        return (ppns[idx] << np.int64(PAGE_SHIFT)) | (vaddrs & _PAGE_MASK)
+
+
+# ---------------------------------------------------------------------------
+# shared stream helpers (used by both vectorized engines)
+# ---------------------------------------------------------------------------
+
+
+def step_sectors(paddrs: np.ndarray, size: int, sector_bytes: int) -> np.ndarray:
+    """Unique sector addresses touched by one trace step, ascending.
+
+    Reads are deduped (every unit's L1/the shared L2 would absorb the
+    repeats); write-through writes are coalesced per sector — both are
+    timing-neutral for the hit path, which carries no bandwidth charge.
+    """
+    p = np.atleast_1d(paddrs).astype(np.int64)
+    first = p // sector_bytes
+    last = (p + size - 1) // sector_bytes
+    span = int((last - first).max()) + 1
+    if span == 1:
+        sectors = first
+    else:
+        grid = first[:, None] + np.arange(span)
+        sectors = grid[grid <= last[:, None]]
+    return np.unique(sectors) * sector_bytes
+
+
+def merge_streams(
+    streams: list[tuple[np.ndarray, bool]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Proportionally interleave the per-step sector streams.
+
+    All µthreads progress through the trace roughly together (they are
+    spawned together and FGMT round-robins them), so at any instant the
+    launch's memory traffic mixes *every* step's stream — e.g. column
+    reads interleave with mask writes.  Merging each stream at its own
+    uniform rate reproduces that mix (and its DRAM bank behaviour)
+    instead of an artificially bank-friendly step-by-step sweep.
+    Returns (addresses, is_write) arrays ready for the bulk charge.
+    """
+    if not streams:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    if len(streams) == 1:
+        sectors, is_write = streams[0]
+        return (np.asarray(sectors, dtype=np.int64),
+                np.full(len(sectors), is_write, dtype=bool))
+    positions = np.concatenate([
+        (np.arange(len(sectors)) + 0.5) / max(len(sectors), 1)
+        for sectors, _ in streams
+    ])
+    addrs = np.concatenate([sectors for sectors, _ in streams])
+    writes = np.concatenate([
+        np.full(len(sectors), is_write) for sectors, is_write in streams
+    ])
+    order = np.argsort(positions, kind="stable")
+    return addrs[order].astype(np.int64), writes[order]
+
+
+# ---------------------------------------------------------------------------
+# control-flow analysis: immediate post-dominators for reconvergence
+# ---------------------------------------------------------------------------
+
+
+#: Vector mnemonics that read their ``rd`` field as a source.
+_RD_READERS = {"vmacc.vv", "vfmacc.vv", "vfmacc.vf", "vmv.s.x"}
+
+
+def x_read_counts(program) -> dict[int, int]:
+    """How many instructions read each register index as a source.
+
+    Used to decide whether an AMO's returned *old value* is ever
+    consumed: contended old values are order-dependent, but a result
+    nobody reads (the common reduce/histogram pattern) keeps the launch
+    on the deterministic grouped path.  Bank-agnostic and therefore
+    conservative (an f/v register sharing the index counts as a read).
+    Memoized on the program object.
+    """
+    cached = getattr(program, "_x_read_counts", None)
+    if cached is not None:
+        return cached
+    counts: dict[int, int] = {}
+    for inst in program.instructions:
+        regs = [inst.rs1, inst.rs2, inst.rs3]
+        if (inst.mnemonic in _RD_READERS
+                or inst.op_class in (OpClass.VSTORE, OpClass.VSCATTER,
+                                     OpClass.VAMO)):
+            regs.append(inst.rd)
+        for reg in regs:
+            if reg:
+                counts[reg] = counts.get(reg, 0) + 1
+    try:
+        program._x_read_counts = counts
+    except AttributeError:  # pragma: no cover - slotted program objects
+        pass
+    return counts
+
+
+def immediate_postdominators(program) -> list[int]:
+    """Reconvergence PC for every instruction index (exit = len(program)).
+
+    Instruction-granular CFG: straight-line successors, resolved branch
+    targets, ``ret``/end-of-program edges into a virtual exit node.
+    Divergent branches reconverge at their immediate post-dominator —
+    exactly the GPGPU-Sim SIMT-stack discipline.  Memoized on the program
+    object (cluster runtimes re-assemble identical programs per launch).
+    """
+    cached = getattr(program, "_simt_ipdom", None)
+    if cached is not None:
+        return cached
+    instructions = program.instructions
+    count = len(instructions)
+    exit_node = count
+    succs: list[list[int]] = []
+    for pc, inst in enumerate(instructions):
+        if inst.op_class is OpClass.RET:
+            succs.append([exit_node])
+        elif inst.op_class is OpClass.BRANCH:
+            target = inst.target if inst.target is not None else exit_node
+            if inst.mnemonic == "j":
+                succs.append([target])
+            else:
+                nxt = pc + 1 if pc + 1 < count else exit_node
+                succs.append(sorted({nxt, target}))
+        else:
+            succs.append([pc + 1 if pc + 1 < count else exit_node])
+
+    # Iterative postdominator sets over the ≤ few-hundred-instruction
+    # programs of this ISA; bitsets keep it simple and fast enough.
+    full = (1 << (count + 1)) - 1
+    pdom = [full] * count + [1 << exit_node]
+    changed = True
+    while changed:
+        changed = False
+        for pc in range(count - 1, -1, -1):
+            meet = full
+            for s in succs[pc]:
+                meet &= pdom[s]
+            new = meet | (1 << pc)
+            if new != pdom[pc]:
+                pdom[pc] = new
+                changed = True
+
+    ipdom: list[int] = []
+    for pc in range(count):
+        strict = pdom[pc] & ~(1 << pc)
+        # the immediate postdominator is the strict postdominator deepest
+        # in the postdominator tree = the one with the largest pdom set
+        best, best_size = exit_node, -1
+        node = strict
+        while node:
+            bit = node & -node
+            idx = bit.bit_length() - 1
+            node ^= bit
+            size = bin(pdom[idx]).count("1") if idx < count else 1
+            if size > best_size:
+                best, best_size = idx, size
+        ipdom.append(best)
+    try:
+        program._simt_ipdom = ipdom
+    except AttributeError:  # pragma: no cover - slotted program objects
+        pass
+    return ipdom
+
+
+# ---------------------------------------------------------------------------
+# hazard interval logs
+# ---------------------------------------------------------------------------
+
+
+class _IntervalLog:
+    """Append-only [lo, hi) interval set with a fast any-overlap query.
+
+    The sorted index is rebuilt lazily on the first query after an
+    ``add`` — quadratic in the worst case (alternating add/query), but a
+    log only ever holds one phase's memory steps (bounded by the trace
+    cap, typically tens), so a smarter incremental merge has not been
+    worth its complexity; revisit if a profile ever says otherwise.
+    """
+
+    def __init__(self) -> None:
+        self._los: list[np.ndarray] = []
+        self._his: list[np.ndarray] = []
+        self._starts: np.ndarray | None = None
+        self._end_max: np.ndarray | None = None
+        self.count = 0
+
+    def add(self, los: np.ndarray, his: np.ndarray) -> None:
+        if los.size:
+            self._los.append(np.asarray(los, dtype=np.int64))
+            self._his.append(np.asarray(his, dtype=np.int64))
+            self._starts = None
+            self.count += int(los.size)
+
+    def overlaps(self, los: np.ndarray, his: np.ndarray) -> bool:
+        if not self.count or not los.size:
+            return False
+        if self._starts is None:
+            starts = np.concatenate(self._los)
+            ends = np.concatenate(self._his)
+            order = np.argsort(starts, kind="stable")
+            self._starts = starts[order]
+            self._end_max = np.maximum.accumulate(ends[order])
+        idx = np.searchsorted(self._starts, np.asarray(his, dtype=np.int64),
+                              side="left")
+        cand = idx > 0
+        if not cand.any():
+            return False
+        return bool((self._end_max[idx[cand] - 1]
+                     > np.asarray(los, dtype=np.int64)[cand]).any())
+
+
+class _PhaseHazards:
+    """Per-phase, per-address-space memory ordering hazards.
+
+    The lockstep walk gives every phase a single canonical interleaving:
+    all lanes execute step k before any lane executes step k+1, loads see
+    pre-phase memory (stores buffer to the barrier), AMOs apply in lane
+    order.  Whenever the interpreter's fine-grained schedule could order
+    two overlapping accesses of *different* µthreads differently, the
+    result is a race the engine must not silently pick a winner for —
+    ``check_*`` raises :class:`LaunchFallback` (slug ``raw``) instead.
+    Single-lane launches keep only the buffered-store rules: program
+    order within one µthread is always preserved by the walk itself.
+    """
+
+    def __init__(self, single_lane: bool) -> None:
+        self.single = single_lane
+        self.loads = _IntervalLog()
+        self.stores = _IntervalLog()
+        #: commutative integer atomics, keyed by (op, size): only atomics
+        #: of the *same* op and width commute byte-for-byte (a 4-byte add
+        #: under an 8-byte add interacts through the carry chain)
+        self.amos: dict[tuple[str, int], _IntervalLog] = {}
+        self.amos_sensitive = _IntervalLog()   # swap / float accumulation
+
+    def _amo_overlap(self, los, his, except_key=None) -> bool:
+        if self.amos_sensitive.overlaps(los, his):
+            return True
+        return any(
+            log.overlaps(los, his)
+            for key, log in self.amos.items() if key != except_key
+        )
+
+    def add_amo(self, los, his, key: tuple[str, int],
+                sensitive: bool) -> None:
+        if sensitive:
+            self.amos_sensitive.add(los, his)
+        else:
+            self.amos.setdefault(key, _IntervalLog()).add(los, his)
+
+    def check_load(self, los, his) -> None:
+        if self.stores.overlaps(los, his):
+            raise LaunchFallback(
+                "load overlaps a buffered store (RAW via memory)", "raw")
+        if self.single:
+            return  # applied AMOs are same-lane program order
+        if self._amo_overlap(los, his):
+            raise LaunchFallback(
+                "load overlaps an applied atomic (RAW via memory)", "raw")
+
+    def check_store(self, los, his) -> None:
+        if self.single:
+            return
+        if self.loads.overlaps(los, his):
+            raise LaunchFallback(
+                "store overlaps an earlier cross-lane load", "raw")
+        if self._amo_overlap(los, his):
+            raise LaunchFallback(
+                "store overlaps an applied atomic", "raw")
+        if self.stores.overlaps(los, his):
+            raise LaunchFallback(
+                "store overlaps an earlier cross-lane store", "raw")
+
+    def check_amo(self, los, his, key: tuple[str, int],
+                  sensitive: bool) -> None:
+        if self.stores.overlaps(los, his):
+            raise LaunchFallback(
+                "atomic overlaps a buffered store", "raw")
+        if self.single:
+            return
+        if self.loads.overlaps(los, his):
+            raise LaunchFallback(
+                "atomic overlaps an earlier cross-lane load", "raw")
+        if self._amo_overlap(los, his, except_key=None if sensitive else key):
+            raise LaunchFallback(
+                "order-sensitive atomic overlap", "raw")
+
+
+# ---------------------------------------------------------------------------
+# recorded memory steps + phase profiles (also the trace-cache payload)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SimtStep:
+    """One memory instruction of the walk, flattened per element access.
+
+    ``lanes``/``vaddrs`` are lane-major (element-minor) — the engine's
+    canonical AMO application order and the *mask schedule* a cached
+    replay verifies against.
+    """
+
+    op: str                     # "load" | "store" | "amo"
+    size: int                   # bytes per element access
+    lanes: np.ndarray           # (e,) lane id of each element access
+    vaddrs: np.ndarray          # (e,) start vaddr of each element access
+    spad: np.ndarray | None     # (e,) bool scratchpad routing; None = global
+    paddrs: np.ndarray | None = None   # translated global element addresses
+    sector_count: int = 0
+    amo_op: str | None = None
+    amo_float: bool = False
+
+
+@dataclass
+class SimtPhaseProfile:
+    """Everything reusable about one phase of a traced SIMT launch."""
+
+    kind: str
+    n: int
+    unit_of_lane: np.ndarray
+    steps: list[SimtStep] = field(default_factory=list)
+    instr_steps: int = 0
+    lane_instructions: int = 0
+    fu_counts: dict[FUnit, int] = field(default_factory=dict)
+    lat_cycles: np.ndarray | None = None
+    mem_lat: np.ndarray | None = None
+    merged_addrs: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    merged_writes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=bool))
+    page_count: int = 0
+    global_bytes: int = 0
+    global_accesses: int = 0
+    spad_bytes: int = 0
+    atomics: int = 0
+    #: per-unit functional scratchpad counter deltas:
+    #: unit -> (reads, writes, atomics, bytes)
+    spad_counters: dict[int, tuple[int, int, int, int]] = field(
+        default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# SIMT stack entry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StackEntry:
+    next_pc: int
+    reconv_pc: int
+    mask: np.ndarray            # bool (n,)
+
+
+# ---------------------------------------------------------------------------
+# one-phase masked walk
+# ---------------------------------------------------------------------------
+
+
+class _PhaseWalk:
+    """Masked lockstep execution of one phase's µthreads."""
+
+    def __init__(self, plan: "SimtPlan", kind: Phase, program, n: int,
+                 x1: np.ndarray, x2: np.ndarray, unit_of_lane: np.ndarray,
+                 profile: SimtPhaseProfile | None) -> None:
+        self.plan = plan
+        self.program = program
+        self.n = n
+        self.unit_of_lane = unit_of_lane
+        self._verify = profile
+        self._step_i = 0
+        self._executed = 0
+        self._lane_instructions = 0
+        self._fu_counts: dict[FUnit, int] = {}
+        self._steps: list[SimtStep] = []
+        self._lat_cycles = np.zeros(n, dtype=np.int64)
+        self._mem_lat = np.zeros(n, dtype=np.float64)
+        self._spad_counters: dict[int, list[int]] = {}
+        self._global_bytes = 0
+        self._global_accesses = 0
+        self._spad_bytes = 0
+        self._atomics = 0
+        self.kind = kind
+        self.hazards_global = _PhaseHazards(n == 1)
+        self.hazards_spad = _PhaseHazards(n == 1)
+        self.store_log: list[tuple[np.ndarray, np.ndarray]] = []
+        self._seen_sectors: np.ndarray | None = None
+
+        self.xr: list[np.ndarray] = [np.zeros(n, dtype=np.int64)] * 32
+        self.xr[1] = np.asarray(x1, dtype=np.int64)
+        self.xr[2] = np.asarray(x2, dtype=np.int64)
+        self.xr[3] = np.full(n, plan.execution.args_vaddr, dtype=np.int64)
+        self.fr: list[np.ndarray] = [np.zeros(n, dtype=np.float64)] * 32
+        self.vr: list[np.ndarray | None] = [None] * 32
+        self.vl = np.full(n, -1, dtype=np.int64)      # -1 = VLMAX sentinel
+        self.sew = np.full(n, 64, dtype=np.int64)
+
+        device = plan.device
+        spad = device.units[0].scratchpad
+        self._spad_lo = spad.base_vaddr
+        self._spad_size = spad.size_bytes
+        self._spad_hi = spad.base_vaddr + spad.size_bytes
+        self._spad_latency = spad.latency_ns
+        self._args_lo = plan.execution.args_vaddr
+        self._args_hi = plan.execution.args_vaddr + ARG_SLOT_BYTES
+        cfg = device.config
+        self._period = cfg.ndp.clock.period_ns
+        self._l1_hit = cfg.ndp.l1d.hit_latency_ns
+        self._l2_hit = cfg.l2.hit_latency_ns
+        self._dram_lat = device.dram.typical_random_latency_ns()
+        self._sector_bytes = cfg.l2.sector_bytes
+
+    # -- register plumbing -------------------------------------------------
+
+    def _wx(self, idx: int, val, m: np.ndarray | None) -> None:
+        if not idx:
+            return
+        v = np.broadcast_to(
+            np.asarray(val).astype(np.int64), (self.n,))
+        self.xr[idx] = v.copy() if m is None else np.where(m, v, self.xr[idx])
+
+    def _wf(self, idx: int, val, m: np.ndarray | None) -> None:
+        v = np.broadcast_to(np.asarray(val, dtype=np.float64), (self.n,))
+        self.fr[idx] = v.copy() if m is None else np.where(m, v, self.fr[idx])
+
+    def _read_v(self, idx: int, count: int) -> np.ndarray:
+        arr = self.vr[idx]
+        if arr is None or arr.shape[-1] == 0:
+            return np.zeros((self.n, count), dtype=np.uint64)
+        k = arr.shape[-1]
+        if k < count:
+            pad = np.zeros((self.n, count - k), dtype=np.uint64)
+            arr = np.concatenate([arr, pad], axis=-1)
+        return arr[:, :count]
+
+    def _wv(self, idx: int, val: np.ndarray, m: np.ndarray | None) -> None:
+        v = np.asarray(val, dtype=np.uint64)
+        if v.ndim == 1:
+            v = np.broadcast_to(v[None, :], (self.n, v.shape[0]))
+        if m is None:
+            self.vr[idx] = np.ascontiguousarray(v)
+            return
+        # Inactive lanes keep their full-width old register (the write may
+        # narrow it); active lanes read zeros past the written elements,
+        # exactly like the scalar executor's shorter value list.
+        old = self.vr[idx]
+        k_old = old.shape[-1] if old is not None else 0
+        k = max(k_old, v.shape[-1])
+        if v.shape[-1] < k:
+            v = np.concatenate(
+                [v, np.zeros((self.n, k - v.shape[-1]), dtype=np.uint64)],
+                axis=-1)
+        self.vr[idx] = np.where(m[:, None], v, self._read_v(idx, k))
+
+    def _uniform(self, arr: np.ndarray, m: np.ndarray | None,
+                 what: str, slug: str = "vconfig") -> int:
+        vals = arr if m is None else arr[m]
+        first = vals[0] if vals.size else 0
+        if vals.size and not np.all(vals == first):
+            raise LaunchFallback(f"µthread-divergent {what}", slug)
+        return int(first)
+
+    def _eff_vl(self, m: np.ndarray | None, sew_bits: int) -> int:
+        limit = vlmax(sew_bits)
+        v = self._uniform(self.vl, m, "vector length")
+        return limit if v < 0 else min(v, limit)
+
+    def _cur_sew(self, m: np.ndarray | None) -> int:
+        return self._uniform(self.sew, m, "vector SEW")
+
+    # -- memory ------------------------------------------------------------
+
+    def _normalize_vaddrs(self, vaddrs: np.ndarray) -> np.ndarray:
+        """Relocate arg-block addresses before recording/verifying.
+
+        The 64 B argument block rotates through scratchpad slots per
+        kernel *instance* (``instance_id % max_concurrent_kernels``), so
+        otherwise-identical launches read their arguments at different
+        vaddrs.  Mapping those onto a slot-independent synthetic base
+        keeps the recorded mask schedule comparable across instances;
+        any access straddling the block boundary normalizes differently
+        per launch and simply retraces.
+        """
+        in_args = (vaddrs >= self._args_lo) & (vaddrs < self._args_hi)
+        if not in_args.any():
+            return vaddrs
+        out = vaddrs.copy()
+        out[in_args] = vaddrs[in_args] - self._args_lo - np.int64(1 << 40)
+        return out
+
+    def _verify_step(self, op: str, size: int, lanes: np.ndarray,
+                     vaddrs: np.ndarray, spad: np.ndarray | None,
+                     amo_op: str | None, amo_float: bool) -> SimtStep:
+        from repro.exec.trace_cache import StaleTrace
+
+        profile = self._verify
+        if self._step_i >= len(profile.steps):
+            raise StaleTrace("more memory steps than the cached trace")
+        step = profile.steps[self._step_i]
+        self._step_i += 1
+        same_spad = (
+            (step.spad is None and spad is None)
+            or (step.spad is not None and spad is not None
+                and np.array_equal(step.spad, spad))
+        )
+        if (step.op != op or step.size != size or step.amo_op != amo_op
+                or step.amo_float != amo_float or not same_spad
+                or not np.array_equal(step.lanes, lanes)
+                or not np.array_equal(step.vaddrs, vaddrs)):
+            raise StaleTrace("memory step diverged from cached trace")
+        return step
+
+    def _record_step(self, op: str, size: int, lanes: np.ndarray,
+                     vaddrs: np.ndarray, spad: np.ndarray | None,
+                     global_vaddrs: np.ndarray,
+                     amo_op: str | None = None,
+                     amo_float: bool = False) -> tuple[SimtStep, np.ndarray]:
+        """Record (or verify) one memory step; returns it + global paddrs."""
+        vaddrs = self._normalize_vaddrs(vaddrs)
+        if self._verify is not None:
+            step = self._verify_step(op, size, lanes, vaddrs, spad,
+                                     amo_op, amo_float)
+            paddrs = step.paddrs if step.paddrs is not None else np.empty(
+                0, dtype=np.int64)
+            return step, paddrs
+        if global_vaddrs.size:
+            paddrs = np.atleast_1d(
+                self.plan.translator.translate(global_vaddrs))
+        else:
+            paddrs = np.empty(0, dtype=np.int64)
+        step = SimtStep(op=op, size=size, lanes=lanes, vaddrs=vaddrs,
+                        spad=spad, paddrs=paddrs, amo_op=amo_op,
+                        amo_float=amo_float)
+        self._steps.append(step)
+        return step, paddrs
+
+    def _sector_novelty(self, step: SimtStep) -> float:
+        """Record the step's sectors; returns the first-touch fraction.
+
+        Only a step's *first-touch* sectors pay the DRAM round trip in
+        the per-lane latency estimate — re-walked data (a pointer-chased
+        contribution array, re-read partials) sits in the memory-side L2
+        by then, exactly as the interpreter's timed path observes.
+        """
+        sectors = step_sectors(step.paddrs, step.size, self._sector_bytes)
+        step.sector_count = int(sectors.size)
+        if self._seen_sectors is None:
+            self._seen_sectors = sectors
+            return 1.0
+        fresh = ~np.isin(sectors, self._seen_sectors, assume_unique=True)
+        new = int(fresh.sum())
+        if new:
+            self._seen_sectors = np.union1d(self._seen_sectors,
+                                            sectors[fresh])
+        return new / sectors.size
+
+    def _bump_spad(self, units: np.ndarray, what: int, count_each: int,
+                   bytes_each: int) -> None:
+        """Accumulate per-unit scratchpad counter deltas (flushed on
+        success only).  ``what``: 0=reads, 1=writes, 2=atomics."""
+        uniq, counts = np.unique(units, return_counts=True)
+        for u, c in zip(uniq, counts):
+            row = self._spad_counters.setdefault(int(u), [0, 0, 0, 0])
+            row[what] += int(c) * count_each
+            row[3] += int(c) * count_each * bytes_each
+
+    def _spad_offsets(self, vaddrs: np.ndarray, size: int) -> np.ndarray:
+        offs = vaddrs - np.int64(self._spad_lo)
+        if (offs < 0).any() or (offs + size > self._spad_size).any():
+            raise LaunchFallback("scratchpad access outside window",
+                                 "scratchpad")
+        return offs
+
+    def _spad_synthetic(self, lanes: np.ndarray, offs: np.ndarray) -> np.ndarray:
+        """Disambiguate per-unit scratchpad intervals for hazard logs."""
+        units = self.unit_of_lane[lanes].astype(np.int64)
+        return units * np.int64(self._spad_size) + offs
+
+    def _spad_gather(self, lanes: np.ndarray, offs: np.ndarray,
+                     size: int) -> np.ndarray:
+        out = np.empty((lanes.size, size), dtype=np.uint8)
+        units = self.unit_of_lane[lanes]
+        cols = np.arange(size)
+        for u in np.unique(units):
+            sel = np.nonzero(units == u)[0]
+            view = self.plan.spad_view(int(u), write=False)
+            out[sel] = view[offs[sel][:, None] + cols]
+        return out
+
+    def _spad_scatter(self, lanes: np.ndarray, offs: np.ndarray,
+                      rows: np.ndarray) -> None:
+        units = self.unit_of_lane[lanes]
+        cols = np.arange(rows.shape[-1])
+        for u in np.unique(units):
+            sel = np.nonzero(units == u)[0]
+            view = self.plan.spad_view(int(u), write=True)
+            view[offs[sel][:, None] + cols] = rows[sel]
+
+    def _check_intra_store(self, lanes: np.ndarray, los: np.ndarray,
+                           size: int, rows: np.ndarray) -> None:
+        """Cross-lane conflicting writes inside one step are races."""
+        if self.n == 1 or los.size <= 1:
+            return
+        order = np.argsort(los, kind="stable")
+        lo_s, lane_s, rows_s = los[order], lanes[order], rows[order]
+        overlap = lo_s[1:] < lo_s[:-1] + size
+        if not overlap.any():
+            return
+        idx = np.nonzero(overlap)[0]
+        cross = lane_s[idx] != lane_s[idx + 1]
+        if not cross.any():
+            return
+        bad = idx[cross]
+        exact = lo_s[bad] == lo_s[bad + 1]
+        same = exact & np.all(rows_s[bad] == rows_s[bad + 1], axis=1)
+        if not same.all():
+            raise LaunchFallback("cross-lane conflicting stores", "raw")
+
+    def _route_spad(self, addrs: np.ndarray):
+        """Split one access vector into scratchpad and global elements.
+
+        Returns ``(spad_field, s_sel, g_sel)``: the per-element routing
+        vector cached-trace verification compares (``None`` when fully
+        global) plus the element selectors for each side.
+        """
+        in_spad = (addrs >= self._spad_lo) & (addrs < self._spad_hi)
+        if not in_spad.any():
+            return None, np.empty(0, dtype=np.int64), np.arange(addrs.size)
+        return (in_spad, np.nonzero(in_spad)[0], np.nonzero(~in_spad)[0])
+
+    def _load(self, lanes: np.ndarray, addrs: np.ndarray,
+              size: int) -> np.ndarray:
+        """Load ``size`` bytes per (lane, addr) element; (e, size) uint8."""
+        spad_field, s_sel, g_sel = self._route_spad(addrs)
+        step, paddrs = self._record_step(
+            "load", size, lanes, addrs, spad_field, addrs[g_sel])
+        out = np.empty((addrs.size, size), dtype=np.uint8)
+        if s_sel.size:
+            offs = self._spad_offsets(addrs[s_sel], size)
+            syn = self._spad_synthetic(lanes[s_sel], offs)
+            if self._verify is None:
+                self.hazards_spad.check_load(syn, syn + size)
+                self.hazards_spad.loads.add(syn, syn + size)
+            out[s_sel] = self._spad_gather(lanes[s_sel], offs, size)
+            self._bump_spad(self.unit_of_lane[lanes[s_sel]], 0, 1, size)
+            self._spad_bytes += int(s_sel.size) * size
+            if self._verify is None:
+                self._mem_lat_add(lanes[s_sel], self._spad_latency)
+        if g_sel.size:
+            out[g_sel] = self.plan.device.physical.gather_rows(paddrs, size)
+            self._global_bytes += int(g_sel.size) * size
+            self._global_accesses += int(g_sel.size)
+            if self._verify is None:
+                self.hazards_global.check_load(paddrs, paddrs + size)
+                self.hazards_global.loads.add(paddrs, paddrs + size)
+                frac = self._sector_novelty(step)
+                hot = step.sector_count * 8 <= g_sel.size
+                self._mem_lat_add(
+                    lanes[g_sel],
+                    self._l1_hit if hot
+                    else 2 * CROSSBAR_NS + self._l2_hit
+                    + frac * self._dram_lat)
+        return out
+
+    def _store(self, lanes: np.ndarray, addrs: np.ndarray,
+               rows: np.ndarray) -> None:
+        size = rows.shape[-1]
+        spad_field, s_sel, g_sel = self._route_spad(addrs)
+        step, paddrs = self._record_step(
+            "store", size, lanes, addrs, spad_field, addrs[g_sel])
+        if s_sel.size:
+            offs = self._spad_offsets(addrs[s_sel], size)
+            syn = self._spad_synthetic(lanes[s_sel], offs)
+            self._check_intra_store(lanes[s_sel], syn, size, rows[s_sel])
+            if self._verify is None:
+                self.hazards_spad.check_store(syn, syn + size)
+                self.hazards_spad.stores.add(syn, syn + size)
+            # scratchpad writes apply immediately (to the shadow): later
+            # same-lane reads are program order, cross-lane reads are
+            # hazard-checked above
+            self._spad_scatter(lanes[s_sel], offs, rows[s_sel])
+            self._bump_spad(self.unit_of_lane[lanes[s_sel]], 1, 1, size)
+            self._spad_bytes += int(s_sel.size) * size
+            if self._verify is None:
+                self._mem_lat_add(lanes[s_sel], self._spad_latency)
+        if g_sel.size:
+            # the data-dependent half of the conflict rule is re-checked
+            # even on cached replays (addresses are verified, data is not)
+            self._check_intra_store(lanes[g_sel], paddrs, size, rows[g_sel])
+            if self._verify is None:
+                self.hazards_global.check_store(paddrs, paddrs + size)
+                self.hazards_global.stores.add(paddrs, paddrs + size)
+                self._sector_novelty(step)
+                self._mem_lat_add(lanes[g_sel], self._l1_hit)
+            self.store_log.append(
+                (paddrs, np.ascontiguousarray(rows[g_sel])))
+            self._global_bytes += int(g_sel.size) * size
+            self._global_accesses += int(g_sel.size)
+
+    def _amo(self, lanes: np.ndarray, addrs: np.ndarray, operands,
+             op: str, size: int, is_float: bool,
+             consumed: bool = False):
+        """Apply one AMO step in lane order; returns old values (e,).
+
+        ``consumed`` marks AMOs whose returned old value some later
+        instruction reads: under contention those olds depend on the
+        interpreter's scheduling, so the step is treated as
+        order-sensitive (fallback on any contention or overlap).
+        """
+        spad_field, s_sel, g_sel = self._route_spad(addrs)
+        step, paddrs = self._record_step(
+            "amo", size, lanes, addrs, spad_field, addrs[g_sel],
+            amo_op=op, amo_float=is_float)
+        sensitive = is_float or op == "swap" or consumed
+        amo_key = (op, size)
+        olds = (np.empty(addrs.size, dtype=np.float64) if is_float
+                else np.empty(addrs.size, dtype=np.int64))
+        if s_sel.size:
+            offs = self._spad_offsets(addrs[s_sel], size)
+            syn = self._spad_synthetic(lanes[s_sel], offs)
+            if self._verify is None:
+                self.hazards_spad.check_amo(syn, syn + size, amo_key,
+                                            sensitive)
+                self.hazards_spad.add_amo(syn, syn + size, amo_key,
+                                          sensitive)
+            olds[s_sel] = self._apply_amo_grouped(
+                syn, np.asarray(operands)[s_sel], op, size, is_float,
+                sensitive, spad_lanes=lanes[s_sel], spad_offs=offs)
+            self._bump_spad(self.unit_of_lane[lanes[s_sel]], 2, 1, 2 * size)
+            self._spad_bytes += int(s_sel.size) * size
+            if self._verify is None:
+                self._mem_lat_add(lanes[s_sel], self._spad_latency)
+        if g_sel.size:
+            if self._verify is None:
+                self.hazards_global.check_amo(paddrs, paddrs + size,
+                                              amo_key, sensitive)
+                self.hazards_global.add_amo(paddrs, paddrs + size,
+                                            amo_key, sensitive)
+            olds[g_sel] = self._apply_amo_grouped(
+                paddrs, np.asarray(operands)[g_sel], op, size, is_float,
+                sensitive)
+            self._atomics += int(g_sel.size)
+            self._global_bytes += int(g_sel.size) * size
+            self._global_accesses += int(g_sel.size)
+            if self._verify is None:
+                frac = self._sector_novelty(step)
+                self._mem_lat_add(
+                    lanes[g_sel],
+                    2 * CROSSBAR_NS + self._l2_hit + ATOMIC_OP_NS
+                    + frac * self._dram_lat)
+        return olds
+
+    def _apply_amo_grouped(self, addrs: np.ndarray, operands: np.ndarray,
+                           op: str, size: int, is_float: bool,
+                           sensitive: bool,
+                           spad_lanes: np.ndarray | None = None,
+                           spad_offs: np.ndarray | None = None) -> np.ndarray:
+        """Lane-ordered, grouped-by-address read-modify-write.
+
+        Returns per-element old values.  Grouping by address makes the
+        application order deterministic (ascending lane within each
+        address); for the commutative integer ops the final bytes equal
+        any interleaving, including the interpreter's.  Multi-lane groups
+        of order-sensitive steps (swap, float adds, any AMO whose old
+        value is consumed downstream) are rejected — their result depends
+        on scheduling the engine does not model.
+        """
+        e = addrs.size
+        order = np.argsort(addrs, kind="stable")
+        pa = addrs[order]
+        ops_sorted = np.asarray(operands)[order]
+        starts = np.ones(e, dtype=bool)
+        starts[1:] = pa[1:] != pa[:-1]
+        start_idx = np.nonzero(starts)[0]
+        uniq = pa[start_idx]
+        gid = np.cumsum(starts) - 1
+        multi = np.diff(np.append(start_idx, e)) > 1
+        if multi.any() and self.n > 1 and sensitive:
+            raise LaunchFallback(
+                "order-sensitive atomic contention "
+                "(swap / float / consumed old value)", "atomic")
+
+        # read the current values
+        if spad_lanes is None:
+            rows = self.plan.device.physical.gather_rows(uniq, size)
+            self.plan.push_undo(uniq.copy(), rows.copy())
+        else:
+            sl = spad_lanes[order][start_idx]
+            so = spad_offs[order][start_idx]
+            rows = self._spad_gather(sl, so, size)
+        sew = size * 8
+        if is_float:
+            init = vo.bits_to_float(vo.from_le_bytes(rows), sew)
+        else:
+            init = vo.sign_extend(vo.from_le_bytes(rows), sew)
+
+        olds_sorted = np.empty(e, dtype=np.float64 if is_float else np.int64)
+        finals = np.empty(uniq.size, dtype=olds_sorted.dtype)
+        if not is_float and op == "add":
+            ops64 = ops_sorted.astype(np.int64)
+            csum = np.cumsum(ops64)
+            base = csum[start_idx] - ops64[start_idx]
+            excl = csum - ops64 - base[gid]
+            olds_sorted = vo.sign_extend(
+                vo.to_pattern(init[gid] + excl, sew), sew)
+            finals = vo.sign_extend(
+                vo.to_pattern(init + csum[np.append(start_idx[1:] - 1, e - 1)]
+                              - base, sew), sew)
+        elif not multi.any():
+            olds_sorted = init[gid]
+            finals = self._amo_scalar(op, init, ops_sorted, sew, is_float)
+        else:
+            # rare: multi-lane min/max/or/and groups — small ordered loop
+            bounds = np.append(start_idx, e)
+            for g in range(uniq.size):
+                val = init[g]
+                for j in range(bounds[g], bounds[g + 1]):
+                    olds_sorted[j] = val
+                    nxt = self._amo_scalar(
+                        op, np.asarray([val]), np.asarray([ops_sorted[j]]),
+                        sew, is_float)
+                    val = nxt[0]
+                finals[g] = val
+        # write the new values back
+        if is_float:
+            if size == 4:
+                out_rows = np.ascontiguousarray(
+                    finals.astype(np.float32)).view(np.uint8).reshape(-1, 4)
+            else:
+                out_rows = np.ascontiguousarray(finals).view(
+                    np.uint8).reshape(-1, 8)
+        else:
+            out_rows = vo.to_le_bytes(vo.to_pattern(finals, sew), size)
+        if spad_lanes is None:
+            self.plan.device.physical.scatter_rows(uniq, out_rows)
+        else:
+            self._spad_scatter(sl, so, out_rows)
+        olds = np.empty_like(olds_sorted)
+        olds[order] = olds_sorted
+        return olds
+
+    @staticmethod
+    def _amo_scalar(op: str, old: np.ndarray, operand: np.ndarray,
+                    sew: int, is_float: bool) -> np.ndarray:
+        if op == "add":
+            new = old + operand
+        elif op == "swap":
+            new = operand.astype(old.dtype)
+        elif op == "min":
+            new = np.minimum(old, operand)
+        elif op == "max":
+            new = np.maximum(old, operand)
+        elif op == "or":
+            new = old.astype(np.int64) | operand.astype(np.int64)
+        elif op == "and":
+            new = old.astype(np.int64) & operand.astype(np.int64)
+        elif op == "xor":
+            new = old.astype(np.int64) ^ operand.astype(np.int64)
+        else:
+            raise LaunchFallback(f"unsupported AMO op {op!r}")
+        if is_float:
+            if sew == 32:
+                return new.astype(np.float32).astype(np.float64)
+            return np.asarray(new, dtype=np.float64)
+        return vo.sign_extend(vo.to_pattern(new, sew), sew)
+
+    def _mem_lat_add(self, lanes: np.ndarray, amount: float) -> None:
+        # one latency charge per lane per step; multi-element accesses of
+        # one lane issue back to back, adding a period per extra element
+        uniq, counts = np.unique(lanes, return_counts=True)
+        self._mem_lat[uniq] += amount + (counts - 1) * self._period
+
+    # -- main walk ---------------------------------------------------------
+
+    def run(self) -> SimtPhaseProfile:
+        from repro.exec.trace_cache import StaleTrace
+
+        instructions = self.program.instructions
+        count = len(instructions)
+        ipdom = immediate_postdominators(self.program)
+        exit_pc = count
+        stack = [_StackEntry(0, exit_pc, np.ones(self.n, dtype=bool))]
+        exited = np.zeros(self.n, dtype=bool)
+
+        with np.errstate(all="ignore"):
+            try:
+                while stack:
+                    top = stack[-1]
+                    mask = top.mask & ~exited
+                    if not mask.any() or top.next_pc == top.reconv_pc:
+                        stack.pop()
+                        continue
+                    if top.next_pc >= count:
+                        exited |= mask
+                        stack.pop()
+                        continue
+                    if self._executed >= MAX_TRACE_STEPS:
+                        raise LaunchFallback("trace exceeds step cap", "cap")
+                    self._executed += 1
+                    active = int(mask.sum())
+                    self._lane_instructions += active
+                    inst = instructions[top.next_pc]
+                    if self._verify is None:
+                        self._fu_counts[inst.unit] = (
+                            self._fu_counts.get(inst.unit, 0) + active)
+                        self._lat_cycles[mask] += inst.latency_cycles
+                    m = None if active == self.n else mask
+                    op = inst.op_class
+                    if op is OpClass.BRANCH:
+                        self._branch(inst, top, mask, m, stack, ipdom)
+                        continue
+                    if op is OpClass.RET:
+                        exited |= mask
+                        top.next_pc = top.reconv_pc
+                        continue
+                    self._step(inst, m, mask)
+                    top.next_pc += 1
+            except UnsupportedVectorOp as exc:
+                raise LaunchFallback(str(exc)) from None
+
+        profile = self._verify
+        if profile is not None:
+            if (self._executed != profile.instr_steps
+                    or self._lane_instructions != profile.lane_instructions
+                    or self._step_i != len(profile.steps)):
+                raise StaleTrace("control flow diverged from cached trace")
+            return profile
+        return self._build_profile()
+
+    def _branch(self, inst: Instruction, top: _StackEntry, mask: np.ndarray,
+                m: np.ndarray | None, stack: list[_StackEntry],
+                ipdom: list[int]) -> None:
+        mnemonic = inst.mnemonic
+        pc = top.next_pc
+        if mnemonic == "j":
+            top.next_pc = inst.target
+            return
+        if mnemonic in vo.BRANCHES:
+            cond = vo.BRANCHES[mnemonic](self.xr[inst.rs1], self.xr[inst.rs2])
+        elif mnemonic in vo.BRANCHES_Z:
+            cond = vo.BRANCHES_Z[mnemonic](self.xr[inst.rs1])
+        else:
+            raise LaunchFallback(f"unsupported branch {mnemonic}")
+        taken = np.asarray(cond, dtype=bool) & mask
+        n_taken = int(taken.sum())
+        if n_taken == int(mask.sum()):
+            top.next_pc = inst.target
+            return
+        if n_taken == 0:
+            top.next_pc = pc + 1
+            return
+        # divergence: current entry waits at the reconvergence point, the
+        # two sides execute under their sub-masks (fall-through first)
+        reconv = ipdom[pc]
+        top.next_pc = reconv
+        stack.append(_StackEntry(inst.target, reconv, taken))
+        stack.append(_StackEntry(pc + 1, reconv, mask & ~taken))
+
+    def _step(self, inst: Instruction, m: np.ndarray | None,
+              mask: np.ndarray) -> None:
+        op = inst.op_class
+        if op is OpClass.ALU:
+            self._exec_alu(inst, m)
+        elif op is OpClass.VALU_OP:
+            self._exec_valu(inst, m)
+        elif op is OpClass.LOAD:
+            self._exec_load(inst, m, mask)
+        elif op is OpClass.STORE:
+            self._exec_store(inst, m, mask)
+        elif op is OpClass.AMO:
+            self._exec_amo(inst, m, mask)
+        elif op is OpClass.VLOAD:
+            self._exec_vload(inst, m, mask)
+        elif op is OpClass.VSTORE:
+            self._exec_vstore(inst, m, mask)
+        elif op is OpClass.VGATHER:
+            self._exec_vgather(inst, m, mask)
+        elif op is OpClass.VSCATTER:
+            self._exec_vscatter(inst, m, mask)
+        elif op is OpClass.VAMO:
+            self._exec_vamo(inst, m, mask)
+        elif op is OpClass.VRED:
+            self._exec_vred(inst, m)
+        elif op is OpClass.VSET:
+            self._exec_vset(inst, m)
+        elif op is OpClass.FENCE:
+            pass
+        else:
+            raise LaunchFallback(f"unsupported op class {op.value}")
+
+    # -- scalar ------------------------------------------------------------
+
+    def _exec_alu(self, inst: Instruction, m: np.ndarray | None) -> None:
+        mn = inst.mnemonic
+        xr, fr = self.xr, self.fr
+        if mn in vo.INT_BINOPS:
+            self._wx(inst.rd, vo.INT_BINOPS[mn](xr[inst.rs1], xr[inst.rs2]), m)
+        elif mn in vo.INT_IMMOPS:
+            self._wx(inst.rd, vo.INT_BINOPS[vo.INT_IMMOPS[mn]](
+                xr[inst.rs1], np.int64(inst.imm)), m)
+        elif mn in ("addw", "mulw"):
+            base = vo.INT_BINOPS["add" if mn == "addw" else "mul"]
+            self._wx(inst.rd,
+                     base(xr[inst.rs1], xr[inst.rs2]).astype(np.int32), m)
+        elif mn == "li":
+            self._wx(inst.rd, np.int64(to_signed64(inst.imm)), m)
+        elif mn == "lui":
+            self._wx(inst.rd, np.int64(to_signed64(inst.imm << 12)), m)
+        elif mn == "mv":
+            self._wx(inst.rd, xr[inst.rs1], m)
+        elif mn == "neg":
+            self._wx(inst.rd, -xr[inst.rs1], m)
+        elif mn == "seqz":
+            self._wx(inst.rd, (xr[inst.rs1] == 0).astype(np.int64), m)
+        elif mn == "snez":
+            self._wx(inst.rd, (xr[inst.rs1] != 0).astype(np.int64), m)
+        elif mn in vo.FP_BINOPS:
+            self._wf(inst.rd, vo.FP_BINOPS[mn](fr[inst.rs1], fr[inst.rs2]), m)
+        elif mn in vo.FP_COMPARES:
+            self._wx(inst.rd,
+                     vo.FP_COMPARES[mn](fr[inst.rs1], fr[inst.rs2]), m)
+        elif mn == "fmadd.d":
+            self._wf(inst.rd,
+                     fr[inst.rs1] * fr[inst.rs2] + fr[inst.rs3], m)
+        elif mn == "fsqrt.d":
+            val = fr[inst.rs1]
+            check = val if m is None else val[m]
+            if np.any(check < 0):
+                raise LaunchFallback("fsqrt of negative value")
+            self._wf(inst.rd, np.sqrt(np.abs(val)), m)
+        elif mn == "fmv.d":
+            self._wf(inst.rd, fr[inst.rs1], m)
+        elif mn == "fmv.x.d":
+            bits = np.ascontiguousarray(fr[inst.rs1], dtype=np.float64)
+            self._wx(inst.rd, bits.view(np.int64), m)
+        elif mn == "fmv.d.x":
+            bits = np.ascontiguousarray(xr[inst.rs1], dtype=np.int64)
+            self._wf(inst.rd, bits.view(np.float64), m)
+        elif mn in ("fcvt.d.l", "fcvt.s.l"):
+            self._wf(inst.rd, xr[inst.rs1].astype(np.float64), m)
+        elif mn == "fcvt.l.d":
+            self._wx(inst.rd, np.trunc(fr[inst.rs1]).astype(np.int64), m)
+        else:
+            raise LaunchFallback(f"unsupported mnemonic {mn}")
+
+    def _active(self, mask: np.ndarray) -> np.ndarray:
+        return np.nonzero(mask)[0]
+
+    def _exec_load(self, inst: Instruction, m: np.ndarray | None,
+                   mask: np.ndarray) -> None:
+        lanes = self._active(mask)
+        addrs = self.xr[inst.rs1][lanes] + np.int64(inst.imm)
+        mn = inst.mnemonic
+        if mn in vo.FP_LOADS:
+            size = vo.FP_LOADS[mn]
+            bits = vo.from_le_bytes(self._load(lanes, addrs, size))
+            vals = np.zeros(self.n, dtype=np.float64)
+            vals[lanes] = vo.bits_to_float(bits, size * 8)
+            self._wf(inst.rd, vals, m)
+            return
+        size = vo.LOAD_SIGNED.get(mn) or vo.LOAD_UNSIGNED[mn]
+        value = vo.from_le_bytes(self._load(lanes, addrs, size))
+        out = np.zeros(self.n, dtype=np.int64)
+        if mn in vo.LOAD_SIGNED:
+            out[lanes] = vo.sign_extend(value, size * 8)
+        else:
+            out[lanes] = value.astype(np.int64)
+        self._wx(inst.rd, out, m)
+
+    def _exec_store(self, inst: Instruction, m: np.ndarray | None,
+                    mask: np.ndarray) -> None:
+        lanes = self._active(mask)
+        addrs = self.xr[inst.rs1][lanes] + np.int64(inst.imm)
+        mn = inst.mnemonic
+        if mn in vo.FP_STORES:
+            size = vo.FP_STORES[mn]
+            bits = vo.float_to_bits(self.fr[inst.rs2][lanes], size * 8)
+        else:
+            size = vo.STORES[mn]
+            bits = self.xr[inst.rs2][lanes].astype(np.uint64)
+        self._store(lanes, addrs, vo.to_le_bytes(bits, size))
+
+    def _exec_amo(self, inst: Instruction, m: np.ndarray | None,
+                  mask: np.ndarray) -> None:
+        op, size, is_float = vo.AMO_OPS[inst.mnemonic]
+        lanes = self._active(mask)
+        addrs = self.xr[inst.rs1][lanes] + np.int64(inst.imm)
+        consumed = False
+        if inst.rd:
+            # under contention the returned old value depends on thread
+            # scheduling; only a result some later instruction reads makes
+            # that observable (the AMO's own operand/base reads don't
+            # consume the result — they read the pre-AMO register)
+            reads = x_read_counts(self.program).get(inst.rd, 0)
+            self_reads = (inst.rs1 == inst.rd) + (inst.rs2 == inst.rd)
+            consumed = reads - self_reads > 0
+        if is_float:
+            operands = self.fr[inst.rs2][lanes]
+            olds = self._amo(lanes, addrs, operands, op, size, True,
+                             consumed)
+            vals = np.zeros(self.n, dtype=np.float64)
+            vals[lanes] = olds
+            self._wf(inst.rd, vals, m)
+        else:
+            operands = self.xr[inst.rs2][lanes]
+            if size == 4:
+                operands = vo.sign_extend(vo.to_pattern(operands, 32), 32)
+            olds = self._amo(lanes, addrs, operands, op, size, False,
+                             consumed)
+            out = np.zeros(self.n, dtype=np.int64)
+            out[lanes] = olds
+            self._wx(inst.rd, out, m)
+
+    # -- vector ------------------------------------------------------------
+
+    def _exec_vset(self, inst: Instruction, m: np.ndarray | None) -> None:
+        sew = inst.imm
+        requested = self.xr[inst.rs1]
+        check = requested if m is None else requested[m]
+        if np.any(check < 0):
+            raise LaunchFallback("vsetvli with negative AVL")
+        vl = np.minimum(requested, np.int64(vlmax(sew)))
+        if m is None:
+            self.vl = vl.copy()
+            self.sew = np.full(self.n, sew, dtype=np.int64)
+        else:
+            self.vl = np.where(m, vl, self.vl)
+            self.sew = np.where(m, np.int64(sew), self.sew)
+        self._wx(inst.rd, vl, m)
+
+    def _exec_vload(self, inst: Instruction, m: np.ndarray | None,
+                    mask: np.ndarray) -> None:
+        sew = inst.size * 8
+        vl = self._eff_vl(m, sew)
+        if vl == 0:
+            self._wv(inst.rd, np.zeros((self.n, 0), dtype=np.uint64), m)
+            return
+        lanes = self._active(mask)
+        addrs = self.xr[inst.rs1][lanes] + np.int64(inst.imm)
+        raw = self._load(lanes, addrs, vl * inst.size)
+        elems = vo.from_le_bytes(raw.reshape(lanes.size, vl, inst.size))
+        out = self._read_v(inst.rd, vl).copy()
+        out[lanes] = elems
+        self._wv(inst.rd, out, m)
+
+    def _exec_vstore(self, inst: Instruction, m: np.ndarray | None,
+                     mask: np.ndarray) -> None:
+        sew = inst.size * 8
+        vl = self._eff_vl(m, sew)
+        if vl == 0:
+            return
+        lanes = self._active(mask)
+        addrs = self.xr[inst.rs1][lanes] + np.int64(inst.imm)
+        values = vo.to_pattern(
+            self._read_v(inst.rd, vl)[lanes].astype(np.int64), sew)
+        raw = vo.to_le_bytes(values, inst.size)
+        self._store(lanes, addrs, raw.reshape(lanes.size, vl * inst.size))
+
+    def _flatten_indexed(self, inst: Instruction, mask: np.ndarray,
+                         vl: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-element (lanes, addrs) for indexed vector memory ops,
+        lane-major — the canonical application order."""
+        lanes = self._active(mask)
+        base = self.xr[inst.rs1][lanes]
+        offsets = self._read_v(inst.rs2, vl)[lanes].astype(np.int64)
+        addrs = (base[:, None] + offsets).reshape(-1)
+        flat_lanes = np.repeat(lanes, vl)
+        return flat_lanes, addrs
+
+    def _exec_vgather(self, inst: Instruction, m: np.ndarray | None,
+                      mask: np.ndarray) -> None:
+        sew = inst.size * 8
+        vl = self._eff_vl(m, sew)
+        if vl == 0:
+            self._wv(inst.rd, np.zeros((self.n, 0), dtype=np.uint64), m)
+            return
+        lanes = self._active(mask)
+        flat_lanes, addrs = self._flatten_indexed(inst, mask, vl)
+        raw = self._load(flat_lanes, addrs, inst.size)
+        elems = vo.from_le_bytes(raw).reshape(lanes.size, vl)
+        out = self._read_v(inst.rd, vl).copy()
+        out[lanes] = elems
+        self._wv(inst.rd, out, m)
+
+    def _exec_vscatter(self, inst: Instruction, m: np.ndarray | None,
+                       mask: np.ndarray) -> None:
+        sew = inst.size * 8
+        vl = self._eff_vl(m, sew)
+        if vl == 0:
+            return
+        lanes = self._active(mask)
+        flat_lanes, addrs = self._flatten_indexed(inst, mask, vl)
+        values = vo.to_pattern(
+            self._read_v(inst.rd, vl)[lanes].astype(np.int64), sew)
+        rows = vo.to_le_bytes(values.reshape(-1), inst.size)
+        self._store(flat_lanes, addrs, rows)
+
+    def _exec_vamo(self, inst: Instruction, m: np.ndarray | None,
+                   mask: np.ndarray) -> None:
+        sew = inst.size * 8
+        vl = self._eff_vl(m, sew)
+        if vl == 0:
+            return
+        lanes = self._active(mask)
+        flat_lanes, addrs = self._flatten_indexed(inst, mask, vl)
+        values = vo.sign_extend(self._read_v(inst.rd, vl)[lanes], sew)
+        self._amo(flat_lanes, addrs, values.reshape(-1), "add", inst.size,
+                  False)
+
+    def _exec_valu(self, inst: Instruction, m: np.ndarray | None) -> None:
+        mn = inst.mnemonic
+        sew = self._cur_sew(m)
+        vl = self._eff_vl(m, sew)
+
+        if mn in vo.V_INT_BINOPS:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            b = vo.sign_extend(self._read_v(inst.rs2, vl), sew)
+            self._wv(inst.rd, vo.to_pattern(vo.V_INT_BINOPS[mn](a, b), sew), m)
+        elif mn in vo.V_INT_SCALAR:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(self.xr[inst.rs2])
+            self._wv(inst.rd, vo.to_pattern(vo.V_INT_SCALAR[mn](a, s), sew), m)
+        elif mn in vo.V_INT_IMM:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            self._wv(inst.rd, vo.to_pattern(
+                vo.V_INT_IMM[mn](a, np.int64(inst.imm)), sew), m)
+        elif mn == "vmacc.vv":
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            b = vo.sign_extend(self._read_v(inst.rs2, vl), sew)
+            d = vo.sign_extend(self._read_v(inst.rd, vl), sew)
+            self._wv(inst.rd, vo.to_pattern(d + a * b, sew), m)
+        elif mn in vo.V_FP_BINOPS:
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            b = vo.bits_to_float(self._read_v(inst.rs2, vl), sew)
+            self._wv(inst.rd, vo.float_to_bits(
+                vo.V_FP_BINOPS[mn](a, b), sew), m)
+        elif mn in vo.V_FP_SCALAR:
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(self.fr[inst.rs2])
+            self._wv(inst.rd, vo.float_to_bits(
+                vo.V_FP_SCALAR[mn](a, s), sew), m)
+        elif mn == "vfmacc.vf":
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(self.fr[inst.rs2])
+            d = vo.bits_to_float(self._read_v(inst.rd, vl), sew)
+            self._wv(inst.rd, vo.float_to_bits(d + a * s, sew), m)
+        elif mn == "vfmacc.vv":
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            b = vo.bits_to_float(self._read_v(inst.rs2, vl), sew)
+            d = vo.bits_to_float(self._read_v(inst.rd, vl), sew)
+            self._wv(inst.rd, vo.float_to_bits(d + a * b, sew), m)
+        elif mn in vo.V_INT_COMPARES:
+            a = vo.sign_extend(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(self.xr[inst.rs2])
+            self._wv(inst.rd,
+                     vo.V_INT_COMPARES[mn](a, s).astype(np.uint64), m)
+        elif mn in vo.V_FP_COMPARES:
+            a = vo.bits_to_float(self._read_v(inst.rs1, vl), sew)
+            s = vo.per_thread(self.fr[inst.rs2])
+            self._wv(inst.rd,
+                     vo.V_FP_COMPARES[mn](a, s).astype(np.uint64), m)
+        elif mn in ("vmand.mm", "vmor.mm"):
+            a = self._read_v(inst.rs1, vl) != 0
+            b = self._read_v(inst.rs2, vl) != 0
+            out = (a & b) if mn == "vmand.mm" else (a | b)
+            self._wv(inst.rd, out.astype(np.uint64), m)
+        elif mn == "vmerge.vxm":
+            a = self._read_v(inst.rs1, vl)
+            s = vo.to_pattern(vo.per_thread(self.xr[inst.rs2]), sew)
+            vmask = self._read_v(0, vl) != 0
+            self._wv(inst.rd, np.where(vmask, s, a), m)
+        elif mn == "vmerge.vim":
+            a = self._read_v(inst.rs1, vl)
+            vmask = self._read_v(0, vl) != 0
+            self._wv(inst.rd, np.where(
+                vmask, vo.to_pattern(np.int64(inst.imm), sew), a), m)
+        elif mn == "vmv.v.i":
+            self._wv(inst.rd, np.full(
+                (self.n, vl), vo.to_pattern(np.int64(inst.imm), sew),
+                dtype=np.uint64), m)
+        elif mn == "vmv.v.x":
+            s = vo.to_pattern(self.xr[inst.rs1], sew)
+            self._wv(inst.rd, np.repeat(s[:, None], max(vl, 1), axis=1), m)
+        elif mn == "vmv.v.v":
+            self._wv(inst.rd, self._read_v(inst.rs1, vl).copy(), m)
+        elif mn == "vid.v":
+            self._wv(inst.rd, np.broadcast_to(
+                np.arange(vl, dtype=np.uint64), (self.n, vl)), m)
+        elif mn == "vfmv.v.f":
+            s = vo.float_to_bits(self.fr[inst.rs1], sew)
+            self._wv(inst.rd, np.repeat(s[:, None], max(vl, 1), axis=1), m)
+        elif mn == "vmv.x.s":
+            values = self.vr[inst.rs1]
+            if values is None or values.shape[-1] == 0:
+                self._wx(inst.rd, np.int64(0), m)
+            else:
+                self._wx(inst.rd, vo.sign_extend(values[:, 0], sew), m)
+        elif mn == "vmv.s.x":
+            cur = self.vr[inst.rd]
+            k = cur.shape[-1] if cur is not None and cur.shape[-1] else 1
+            arr = self._read_v(inst.rd, k).copy()
+            arr[:, 0] = vo.to_pattern(self.xr[inst.rs1], sew)
+            self._wv(inst.rd, arr, m)
+        elif mn == "vfmv.f.s":
+            values = self.vr[inst.rs1]
+            if values is None or values.shape[-1] == 0:
+                self._wf(inst.rd, 0.0, m)
+            else:
+                self._wf(inst.rd, vo.bits_to_float(values[:, 0], sew), m)
+        else:
+            raise LaunchFallback(f"unsupported vector mnemonic {mn}")
+
+    def _exec_vred(self, inst: Instruction, m: np.ndarray | None) -> None:
+        mn = inst.mnemonic
+        sew = self._cur_sew(m)
+        vl = self._eff_vl(m, sew)
+        va = self._read_v(inst.rs1, vl)
+        seed = self._read_v(inst.rs2, max(vl, 1))[:, 0]
+
+        # Element accumulation is an *ordered* loop over the (tiny) vl so
+        # float rounding matches the scalar executor exactly.
+        if mn == "vredsum.vs":
+            acc = vo.sign_extend(seed, sew)
+            vs = vo.sign_extend(va, sew)
+            for j in range(vl):
+                acc = acc + vs[:, j]
+            result = vo.to_pattern(acc, sew)
+        elif mn in ("vredmax.vs", "vredmin.vs"):
+            fold = np.maximum if mn == "vredmax.vs" else np.minimum
+            acc = vo.sign_extend(seed, sew)
+            vs = vo.sign_extend(va, sew)
+            for j in range(vl):
+                acc = fold(acc, vs[:, j])
+            result = vo.to_pattern(acc, sew)
+        elif mn == "vfredusum.vs":
+            acc = vo.bits_to_float(seed, sew)
+            vs = vo.bits_to_float(va, sew)
+            for j in range(vl):
+                acc = acc + vs[:, j]
+            result = vo.float_to_bits(acc, sew)
+        elif mn == "vfredmax.vs":
+            acc = vo.bits_to_float(seed, sew)
+            vs = vo.bits_to_float(va, sew)
+            for j in range(vl):
+                acc = np.maximum(acc, vs[:, j])
+            result = vo.float_to_bits(acc, sew)
+        else:
+            raise LaunchFallback(f"unsupported reduction {mn}")
+        self._wv(inst.rd, np.asarray(result, dtype=np.uint64)[:, None], m)
+
+    # -- profile -----------------------------------------------------------
+
+    def _build_profile(self) -> SimtPhaseProfile:
+        streams: list[tuple[np.ndarray, bool]] = []
+        for step in self._steps:
+            if step.paddrs is not None and step.paddrs.size:
+                sectors = step_sectors(step.paddrs, step.size,
+                                       self._sector_bytes)
+                streams.append((sectors, step.op in ("store", "amo")))
+        merged_addrs, merged_writes = merge_streams(streams)
+        page_count = int(np.unique(
+            merged_addrs >> np.int64(PAGE_SHIFT)).size
+        ) if merged_addrs.size else 0
+        return SimtPhaseProfile(
+            kind=self.kind.value,
+            n=self.n,
+            unit_of_lane=self.unit_of_lane,
+            steps=self._steps,
+            instr_steps=self._executed,
+            lane_instructions=self._lane_instructions,
+            fu_counts=self._fu_counts,
+            lat_cycles=self._lat_cycles,
+            mem_lat=self._mem_lat,
+            merged_addrs=merged_addrs,
+            merged_writes=merged_writes,
+            page_count=page_count,
+            global_bytes=self._global_bytes,
+            global_accesses=self._global_accesses,
+            spad_bytes=self._spad_bytes,
+            atomics=self._atomics,
+            spad_counters={
+                u: tuple(row) for u, row in self._spad_counters.items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# whole-launch plan: phases, shadows, undo, timing
+# ---------------------------------------------------------------------------
+
+
+class SimtPlan:
+    """Run one launch through the masked engine, phase by phase.
+
+    ``run()`` walks initializer -> bodies -> finalizer with the barrier
+    semantics of :class:`~repro.ndp.generator.KernelExecution`: each
+    phase's buffered global stores commit at its barrier (with undo
+    records), scratchpad effects accumulate on per-unit shadows, and a
+    fallback or stale-trace abort anywhere rolls the whole launch back so
+    the interpreter re-executes it from pristine state.
+    """
+
+    def __init__(self, device, execution: KernelExecution,
+                 entry=None) -> None:
+        self.device = device
+        self.execution = execution
+        self.entry = entry
+        self.translator = Translator(
+            device.page_table(execution.instance.asid))
+        self.spad_shadows: dict[int, np.ndarray] = {}
+        self.undo: list[tuple[np.ndarray, np.ndarray]] = []
+        self.profiles: list[SimtPhaseProfile] = []
+        self._committed = False
+
+    # -- scratchpad shadows ------------------------------------------------
+
+    def spad_view(self, unit: int, write: bool) -> np.ndarray:
+        shadow = self.spad_shadows.get(unit)
+        if shadow is not None:
+            return shadow
+        real = self.device.units[unit].scratchpad.view()
+        if not write:
+            return real
+        shadow = real.copy()
+        self.spad_shadows[unit] = shadow
+        return shadow
+
+    def push_undo(self, paddrs: np.ndarray, rows: np.ndarray) -> None:
+        self.undo.append((paddrs, rows))
+
+    # -- lane layouts (mirror repro.ndp.generator._PhasePlan) ---------------
+
+    def _phase_lanes(self, phase: Phase):
+        instance = self.execution.instance
+        cfg = self.device.config.ndp
+        num_units = cfg.num_units
+        if phase is Phase.BODY:
+            n = instance.num_body_uthreads
+            idx = np.arange(n, dtype=np.int64)
+            stride = np.int64(instance.uthread_stride)
+            x1 = np.int64(instance.pool_base) + idx * stride
+            x2 = np.int64(instance.offset_bias) + idx * stride
+            unit_of_lane = idx % np.int64(num_units)
+            return n, x1, x2, unit_of_lane
+        slots = self.execution.slots_per_unit
+        n = num_units * slots
+        lane = np.arange(n, dtype=np.int64)
+        x1 = lane // np.int64(slots)        # NDP unit index
+        x2 = lane % np.int64(slots)         # slot-local unique ID
+        return n, x1, x2, x1.copy()
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> "SimtPlan":
+        program = self.execution.instance.kernel.program
+        phases: list[tuple[Phase, object]] = []
+        if program.initializer is not None:
+            phases.append((Phase.INITIALIZER, program.initializer))
+        for body in program.bodies:
+            phases.append((Phase.BODY, body))
+        if program.finalizer is not None:
+            phases.append((Phase.FINALIZER, program.finalizer))
+
+        entry_profiles = self.entry.profiles if self.entry is not None else None
+        try:
+            # Only phases that actually spawn lanes are executed (and
+            # recorded), so cached profiles index by *executed* phase.
+            executed = []
+            for kind, section in phases:
+                n, x1, x2, unit_of_lane = self._phase_lanes(kind)
+                if n:
+                    executed.append((kind, section, n, x1, x2, unit_of_lane))
+            if (entry_profiles is not None
+                    and len(entry_profiles) != len(executed)):
+                from repro.exec.trace_cache import StaleTrace
+                raise StaleTrace("phase count diverged from cached trace")
+            for i, (kind, section, n, x1, x2, unit_of_lane) in enumerate(
+                    executed):
+                walk = _PhaseWalk(
+                    self, kind, section, n, x1, x2, unit_of_lane,
+                    entry_profiles[i] if entry_profiles is not None else None,
+                )
+                profile = walk.run()
+                self._commit_stores(walk)
+                self.profiles.append(profile)
+        except BaseException:
+            self.rollback()
+            raise
+        return self
+
+    def _commit_stores(self, walk: _PhaseWalk) -> None:
+        """Phase barrier: land buffered global stores, keeping undo."""
+        physical = self.device.physical
+        for paddrs, rows in walk.store_log:
+            old = physical.gather_rows(paddrs, rows.shape[-1])
+            self.push_undo(paddrs, old)
+            physical.scatter_rows(paddrs, rows)
+
+    def rollback(self) -> None:
+        """Restore every byte the aborted walk changed (reverse order)."""
+        physical = self.device.physical
+        for paddrs, rows in reversed(self.undo):
+            physical.scatter_rows(paddrs, rows)
+        self.undo.clear()
+        self.spad_shadows.clear()
+
+    def commit(self) -> None:
+        """Launch success: write scratchpad shadows back, flush counters."""
+        stats = self.device.stats
+        for unit, shadow in self.spad_shadows.items():
+            self.device.units[unit].scratchpad.view()[:] = shadow
+        for profile in self.profiles:
+            for unit, (reads, writes, atomics, bytes_) in (
+                    profile.spad_counters.items()):
+                prefix = f"unit{unit}.spad"
+                if reads:
+                    stats.add(f"{prefix}.reads", reads)
+                if writes:
+                    stats.add(f"{prefix}.writes", writes)
+                if atomics:
+                    stats.add(f"{prefix}.atomics", atomics)
+                if bytes_:
+                    stats.add(f"{prefix}.bytes", bytes_)
+            if profile.atomics:
+                stats.add("ndp.global_atomics", profile.atomics)
+        self.undo.clear()
+        self._committed = True
+
+    # -- timing -------------------------------------------------------------
+
+    def schedule(self, now_ns: float) -> None:
+        """Charge the launch analytically and schedule its completion."""
+        device = self.device
+        cfg = device.config.ndp
+        stats = device.stats
+        period = cfg.clock.period_ns
+        num_units = cfg.num_units
+        subcores = cfg.subcores_per_unit
+        slots_per_unit = cfg.subcores_per_unit * cfg.uthread_slots_per_subcore
+        granularity = device.units[0].occupancy.subcores[0].spawn_granularity
+        fu_width = {
+            FUnit.SALU: cfg.scalar_alus_per_subcore,
+            FUnit.VALU: cfg.vector_alus_per_subcore,
+        }
+        execution = self.execution
+        t = max(now_ns, device.sim.now)
+        total_instructions = 0
+        total_lanes = 0
+
+        for profile in self.profiles:
+            start = t + SPAWN_LATENCY_NS
+            n = profile.n
+            total_instructions += profile.lane_instructions
+            total_lanes += n
+
+            # --- issue-throughput bound + bulk sub-core pressure ---------
+            # Spread the launch's *exact* op totals across the sub-cores
+            # (remainders one op at a time, unit 0 first — where a tiny
+            # launch's lanes actually sit) instead of ceil-ing per
+            # sub-core, which would charge a one-µthread kvstore launch
+            # ~128x its real instruction count.
+            n_sub = num_units * subcores
+            per_subcore = profile.lane_instructions / n_sub
+            compute_ns = per_subcore * period / cfg.issue_width
+            d_base, d_rem = divmod(profile.lane_instructions, n_sub)
+            fu_split = {}
+            for fu, count in profile.fu_counts.items():
+                compute_ns = max(compute_ns,
+                                 count / n_sub * period / fu_width.get(fu, 1))
+                fu_split[fu] = divmod(count, n_sub)
+            sub_i = 0
+            for unit in device.units:
+                for subcore in unit.subcores:
+                    ops = d_base + (1 if sub_i < d_rem else 0)
+                    if ops:
+                        subcore.dispatch.service_batch(start, ops)
+                        subcore.instructions_issued += ops
+                    for fu, (f_base, f_rem) in fu_split.items():
+                        f_ops = f_base + (1 if sub_i < f_rem else 0)
+                        if f_ops:
+                            subcore.units[fu].service_batch(start, f_ops)
+                    sub_i += 1
+
+            # --- traffic + footprint stats -------------------------------
+            if profile.global_bytes:
+                stats.add("ndp.global_traffic_bytes", profile.global_bytes)
+                stats.add("ndp.global_accesses", profile.global_accesses)
+            if profile.spad_bytes:
+                stats.add("ndp.spad_traffic_bytes", profile.spad_bytes)
+            if profile.merged_addrs.size:
+                stats.add("ndp.tlb_fill",
+                          profile.page_count * min(num_units, n))
+
+            # --- latency floor: per-unit chunked-wave model --------------
+            lat = profile.lat_cycles * period + profile.mem_lat
+            floor = _latency_floor(lat, profile.unit_of_lane,
+                                   slots_per_unit, granularity)
+            window = max(compute_ns, floor, period)
+
+            # --- memory-system bound: sector stream through L2/DRAM ------
+            completion = start + window
+            merged = profile.merged_addrs.size
+            if merged:
+                dt = window / merged
+                arrivals = start + dt * np.arange(merged)
+                completion = max(completion, device.l2_dram_access_batch(
+                    profile.merged_addrs, arrivals, profile.merged_writes
+                ))
+
+            ratio = min(int(profile.unit_of_lane.size and np.bincount(
+                profile.unit_of_lane, minlength=num_units).max()),
+                slots_per_unit) / slots_per_unit
+            for unit in device.units:
+                unit.occupancy.sampler.record(start, ratio)
+            t = completion
+
+        stats.add("ndp.instructions", total_instructions)
+        stats.add("ndp.uthreads_spawned", total_lanes)
+        stats.add("ndp.uthreads_finished", total_lanes)
+
+        instance = execution.instance
+        done_instructions = total_instructions
+
+        def finish() -> None:
+            now = device.sim.now
+            instance.instructions += done_instructions
+            instance.uthreads_done = instance.uthreads_total
+            for unit in device.units:
+                unit.occupancy.sampler.record(now, 0.0)
+            execution.finish_now(now)
+
+        device.sim.schedule_at(t, finish)
+
+
+def _latency_floor(lat: np.ndarray, unit_of_lane: np.ndarray,
+                   slots_per_unit: int, granularity: int) -> float:
+    """Serial-latency floor of one phase under FGMT occupancy.
+
+    Lanes land on their unit in spawn order and occupy µthread slots in
+    groups of ``granularity`` (the Fig 12a "w/o fine-grained" ablation:
+    a group's slots free only when its *slowest* lane finishes, so
+    coarse spawning serializes behind stragglers).  Each unit's floor is
+    the busiest slot-group's summed group latencies; with ``granularity
+    == 1`` and uniform lanes this reduces to the classic
+    ``waves x thread latency`` bound.
+    """
+    floor = 0.0
+    g = max(1, min(granularity, slots_per_unit))
+    groups = max(slots_per_unit // g, 1)
+    for u in np.unique(unit_of_lane):
+        unit_lat = lat[unit_of_lane == u]
+        k = unit_lat.size
+        if not k:
+            continue
+        pad = (-k) % g
+        if pad:
+            unit_lat = np.concatenate([unit_lat, np.zeros(pad)])
+        chunks = unit_lat.reshape(-1, g).max(axis=1)
+        c = chunks.size
+        pad2 = (-c) % groups
+        if pad2:
+            chunks = np.concatenate([chunks, np.zeros(pad2)])
+        busy = chunks.reshape(-1, groups).sum(axis=0)
+        floor = max(floor, float(busy.max()))
+    return floor

@@ -20,11 +20,15 @@ A cache hit re-runs only the numpy functional replay (data may have
 changed — outputs must stay byte-identical) and verifies each step's
 address vector against the cached one; the sector derivation, stream
 merge and trace bookkeeping are skipped, and the timing fill-in charges
-the cached stream through the live L2/DRAM servers.  Any divergence —
-different addresses, different control flow, a remapped page (the
-device's ``translation_version``) — invalidates the entry and falls back
-to a full trace, so the cache can change wall-clock time but never
-results.
+the cached stream through the live L2/DRAM servers.  Launch-uniform
+walks cache :class:`TraceEntry`; masked SIMT launches (divergent /
+atomic / phased kernels, which used to bypass the cache entirely via
+interpreter fallback) cache :class:`SimtTraceEntry`, whose per-phase
+profiles include every memory step's recorded *mask schedule*.  Any
+divergence — different addresses, different control flow or active-lane
+masks, a remapped page (the device's ``translation_version``) —
+invalidates the entry and falls back to a full trace, so the cache can
+change wall-clock time but never results.
 
 ``REPRO_TRACE_CACHE=0`` disables the cache entirely (every launch takes
 the full trace path); ``REPRO_TRACE_CACHE_CAPACITY`` bounds the number of
@@ -109,7 +113,7 @@ class CachedStep:
 
 @dataclass
 class TraceEntry:
-    """Everything reusable about one traced launch."""
+    """Everything reusable about one traced launch-uniform launch."""
 
     translation_version: int
     trace_len: int
@@ -121,6 +125,24 @@ class TraceEntry:
     merged_writes: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=bool))
     page_count: int = 0
+
+
+@dataclass
+class SimtTraceEntry:
+    """Cached schedule of a masked SIMT launch (divergent / atomic / phased).
+
+    ``profiles`` holds one :class:`~repro.exec.simt.SimtPhaseProfile` per
+    executed phase — including every memory step's **mask schedule** (the
+    per-element active-lane vector) and address vectors.  A hit re-runs the
+    functional walk and verifies each step's lanes and addresses against
+    the recording; any divergence (a chain grew, a branch flipped, a page
+    remapped) raises :class:`StaleTrace` and the launch retraces from
+    scratch, so caching divergent and atomic traces can change wall-clock
+    time but never results or ``runtime_ns``.
+    """
+
+    translation_version: int
+    profiles: list = field(default_factory=list)
 
 
 class TraceCache:

@@ -189,13 +189,16 @@ _U64 = struct.Struct("<Q")
 # scalar memory
 # ---------------------------------------------------------------------------
 
-_LOAD_SIGNED = {"lb": 1, "lh": 2, "lw": 4, "ld": 8}
-_LOAD_UNSIGNED = {"lbu": 1, "lhu": 2, "lwu": 4}
-_FP_LOADS = {"flw": 4, "fld": 8}
-_FP_STORES = {"fsw": 4, "fsd": 8}
-_STORES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+# Public names: these tables are the single source of truth for memory-op
+# metadata (access widths, AMO op/width/float), reused by the vectorized
+# engines through repro.isa.vectorops.
+LOAD_SIGNED = {"lb": 1, "lh": 2, "lw": 4, "ld": 8}
+LOAD_UNSIGNED = {"lbu": 1, "lhu": 2, "lwu": 4}
+FP_LOADS = {"flw": 4, "fld": 8}
+FP_STORES = {"fsw": 4, "fsd": 8}
+STORES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
 
-_AMO_OPS = {
+AMO_OPS = {
     "amoadd.w": ("add", 4, False), "amoadd.d": ("add", 8, False),
     "amoswap.d": ("swap", 8, False), "amomax.d": ("max", 8, False),
     "amomin.d": ("min", 8, False), "amomin.w": ("min", 4, False),
@@ -261,15 +264,15 @@ def _exec_load(inst: Instruction, regs: UThreadRegisters,
                mem: MemoryInterface) -> ExecResult:
     addr = to_unsigned64(regs.x[inst.rs1] + inst.imm)
     m = inst.mnemonic
-    if m in _FP_LOADS:
-        size = _FP_LOADS[m]
+    if m in FP_LOADS:
+        size = FP_LOADS[m]
         raw = mem.load(addr, size)
         value = _F32.unpack(raw)[0] if size == 4 else _F64.unpack(raw)[0]
         regs.write_f(inst.rd, value)
     else:
-        size = _LOAD_SIGNED.get(m) or _LOAD_UNSIGNED[m]
+        size = LOAD_SIGNED.get(m) or LOAD_UNSIGNED[m]
         raw = mem.load(addr, size)
-        value = int.from_bytes(raw, "little", signed=m in _LOAD_SIGNED)
+        value = int.from_bytes(raw, "little", signed=m in LOAD_SIGNED)
         regs.write_x(inst.rd, value)
     return ExecResult(accesses=(MemAccess(addr, size, is_write=False),))
 
@@ -278,12 +281,12 @@ def _exec_store(inst: Instruction, regs: UThreadRegisters,
                 mem: MemoryInterface) -> ExecResult:
     addr = to_unsigned64(regs.x[inst.rs1] + inst.imm)
     m = inst.mnemonic
-    if m in _FP_STORES:
-        size = _FP_STORES[m]
+    if m in FP_STORES:
+        size = FP_STORES[m]
         value = regs.f[inst.rs2]
         raw = _F32.pack(value) if size == 4 else _F64.pack(value)
     else:
-        size = _STORES[m]
+        size = STORES[m]
         raw = (regs.x[inst.rs2] & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
     mem.store(addr, raw)
     return ExecResult(accesses=(MemAccess(addr, size, is_write=True),))
@@ -291,7 +294,7 @@ def _exec_store(inst: Instruction, regs: UThreadRegisters,
 
 def _exec_amo(inst: Instruction, regs: UThreadRegisters,
               mem: MemoryInterface) -> ExecResult:
-    op, size, is_float = _AMO_OPS[inst.mnemonic]
+    op, size, is_float = AMO_OPS[inst.mnemonic]
     addr = to_unsigned64(regs.x[inst.rs1] + inst.imm)
     if is_float:
         operand = regs.f[inst.rs2]

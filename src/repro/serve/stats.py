@@ -39,6 +39,8 @@ class TenantReport:
     correct: bool = True
     first_arrival_ns: float = math.inf
     last_completion_ns: float = 0.0
+    _summary_cache: tuple | None = field(default=None, repr=False,
+                                         compare=False)
 
     @property
     def served(self) -> int:
@@ -75,17 +77,33 @@ class TenantReport:
     def mean_batch(self) -> float:
         return self.served / self.launches if self.launches else 0.0
 
+    def latency_summary(self) -> tuple[float, float, float]:
+        """(p50, p95, p99) from one vectorized percentile pass.
+
+        The per-request latency list is sorted once and all three
+        quantiles interpolate from that sort
+        (:meth:`~repro.sim.stats.Distribution.percentiles`) instead of
+        one Python sort per quantile; memoized per served count since
+        reports query the quantiles repeatedly while rendering.
+        """
+        cached = self._summary_cache
+        if cached is None or cached[0] != self.latencies.count:
+            p50, p95, p99 = self.latencies.percentiles((50.0, 95.0, 99.0))
+            cached = (self.latencies.count, (p50, p95, p99))
+            self._summary_cache = cached
+        return cached[1]
+
     @property
     def p50_ns(self) -> float:
-        return self.latencies.percentile(50.0)
+        return self.latency_summary()[0]
 
     @property
     def p95_ns(self) -> float:
-        return self.latencies.p95
+        return self.latency_summary()[1]
 
     @property
     def p99_ns(self) -> float:
-        return self.latencies.p99
+        return self.latency_summary()[2]
 
 
 class ServingStats:

@@ -12,6 +12,8 @@ import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 def percentile(samples: list[float], pct: float) -> float:
     """Linear-interpolated percentile of ``samples`` (pct in [0, 100]).
@@ -49,12 +51,21 @@ def geometric_mean(values: list[float]) -> float:
 
 @dataclass
 class Distribution:
-    """Streaming collection of scalar samples with summary accessors."""
+    """Streaming collection of scalar samples with summary accessors.
+
+    Percentile queries share one cached ``np.sort`` of the sample set
+    (invalidated on :meth:`add`) and interpolate vectorized — serving
+    reports asking for p50/p95/p99 over tens of thousands of latencies
+    pay one O(n log n) sort total, not one Python sort per quantile.
+    """
 
     samples: list[float] = field(default_factory=list)
+    _ordered: np.ndarray | None = field(
+        default=None, repr=False, compare=False)
 
     def add(self, value: float) -> None:
         self.samples.append(value)
+        self._ordered = None
 
     @property
     def count(self) -> int:
@@ -78,8 +89,38 @@ class Distribution:
     def min(self) -> float:
         return min(self.samples)
 
+    def _sorted_samples(self) -> np.ndarray:
+        if self._ordered is None or self._ordered.size != len(self.samples):
+            self._ordered = np.sort(
+                np.asarray(self.samples, dtype=np.float64))
+        return self._ordered
+
+    def percentiles(self, pcts) -> list[float]:
+        """All requested percentiles from one vectorized interpolation.
+
+        Matches :func:`percentile` exactly: linear interpolation at rank
+        ``pct/100 * (n-1)``, clamped to the bracketing samples so FP
+        rounding cannot escape them.
+        """
+        if not self.samples:
+            raise ValueError("percentile of empty sample set")
+        p = np.asarray(pcts, dtype=np.float64)
+        if ((p < 0) | (p > 100)).any():
+            raise ValueError(
+                f"percentile must be within [0, 100], got {pcts}")
+        ordered = self._sorted_samples()
+        if ordered.size == 1:
+            return [float(ordered[0])] * p.size
+        ranks = p / 100.0 * (ordered.size - 1)
+        lo = np.floor(ranks).astype(np.int64)
+        hi = np.ceil(ranks).astype(np.int64)
+        frac = ranks - lo
+        values = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        values = np.minimum(np.maximum(values, ordered[lo]), ordered[hi])
+        return [float(v) for v in values]
+
     def percentile(self, pct: float) -> float:
-        return percentile(self.samples, pct)
+        return self.percentiles([pct])[0]
 
     @property
     def p95(self) -> float:

@@ -190,10 +190,25 @@ class TestOlapEquivalence:
         assert np.array_equal(outs["interpreter"], outs["batched"])
 
 
-class TestFallback:
-    def test_amo_kernel_falls_back(self):
-        # REDUCE_SUM uses .init/.final sections and amoadd — exactly the
-        # shape the batched path must hand to the interpreter.
+#: Kernel with a genuine read-after-write race through memory: every
+#: µthread stores to its slice then immediately loads the stored bytes
+#: back — the SIMT engine buffers stores to the phase barrier, so it must
+#: hand the launch to the interpreter rather than read stale data.
+RAW_KERNEL = """
+.body
+    ld      x4, 0(x3)        // output base
+    add     x4, x4, x2
+    sd      x2, 0(x4)
+    ld      x5, 0(x4)        // RAW via memory
+    sd      x5, 8(x4)
+    ret
+"""
+
+
+class TestSimtRouting:
+    def test_amo_phase_kernel_runs_on_simt(self):
+        # REDUCE_SUM uses .init/.final sections, scratchpad state and
+        # amoadd — the whole former fallback bundle in one kernel.
         platform = make_platform(backend="batched")
         runtime = platform.runtime
         n = 2048
@@ -203,11 +218,10 @@ class TestFallback:
         runtime.run_kernel(REDUCE_SUM_I64, addr, addr + n * 8,
                            args=pack_args(out), scratchpad_bytes=64)
         assert runtime.read_array(out, np.int64, 1)[0] == values.sum()
-        launches, fallbacks = _batched_stats(platform)
-        assert launches == 0
-        assert fallbacks == 1
+        assert _batched_stats(platform) == (0, 0)
+        assert platform.stats.get("exec.simt_launches") == 1
 
-    def test_small_launch_falls_back(self):
+    def test_small_launch_runs_on_simt(self):
         platform = make_platform(backend="batched")
         runtime = platform.runtime
         n = 32                      # 8 µthreads: below the batch threshold
@@ -218,15 +232,13 @@ class TestFallback:
         runtime.run_kernel(VECADD, addr_a, addr_a + n * 8,
                            args=pack_args(addr_b, addr_c))
         assert np.array_equal(runtime.read_array(addr_c, np.int64, n), 2 * a)
-        launches, fallbacks = _batched_stats(platform)
-        assert launches == 0
-        assert fallbacks == 1
+        assert _batched_stats(platform) == (0, 0)
+        assert platform.stats.get("exec.simt_launches") == 1
 
-    def test_fallback_leaves_memory_consistent(self):
-        # A divergent-branch kernel: threads branch on their own offset
-        # parity, which the lockstep walk cannot follow.  The interpreter
-        # fallback must still produce the right result, and the aborted
-        # walk must not have leaked partial stores.
+    def test_divergent_branches_run_on_simt(self):
+        # Threads branch on their own offset parity; the uniform lockstep
+        # walk degrades to the masked engine, which must produce exactly
+        # the interpreter's bytes.
         source = """
         .body
             ld      x4, 0(x3)        // output base
@@ -254,9 +266,100 @@ class TestFallback:
         expected[::8] = 111          # even slices write at offset 0 of 32B
         expected[4::8] = 222
         assert np.array_equal(produced, expected)
+        assert _batched_stats(platform) == (0, 0)
+        assert platform.stats.get("exec.simt_launches") == 1
+        assert platform.stats.get(
+            "exec.fallback_reason.divergent", 0.0) == 0
+
+    def test_simt_escape_hatch_restores_fallbacks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMT", "0")
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n = 2048
+        values = np.arange(n, dtype=np.int64)
+        addr = runtime.alloc_array(values)
+        out = runtime.alloc(8)
+        runtime.run_kernel(REDUCE_SUM_I64, addr, addr + n * 8,
+                           args=pack_args(out), scratchpad_bytes=64)
+        assert runtime.read_array(out, np.int64, 1)[0] == values.sum()
+        assert _batched_stats(platform) == (0, 1)
+        assert platform.stats.get("exec.simt_launches") == 0
+        assert platform.stats.get("exec.fallback_reason.phases") == 1
+
+
+class TestFallback:
+    def test_contended_amo_old_value_falls_back(self):
+        # Every µthread amoadds to one shared cell AND stores the returned
+        # old value: those olds depend on the interpreter's scheduling, so
+        # the SIMT engine must hand the launch back instead of inventing
+        # a lane-ordered history.
+        source = """
+        .body
+            ld      x4, 0(x3)        // shared accumulator address
+            ld      x5, 8(x3)        // output base
+            add     x5, x5, x2
+            li      x6, 1
+            amoadd.d x7, x6, (x4)
+            sd      x7, 0(x5)        // old value escapes to memory
+            ret
+        """
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n_slices = 128
+        accum = runtime.alloc(8)
+        out = runtime.alloc(n_slices * 32)
+        pool = runtime.alloc(n_slices * 32)
+        runtime.run_kernel(source, pool, pool + n_slices * 32,
+                           args=pack_args(accum, out))
+        total = runtime.read_array(accum, np.int64, 1)[0]
+        olds = np.sort(runtime.read_array(out, np.int64, n_slices * 4)[::4])
+        assert total == n_slices
+        # the interpreter's olds are a permutation of 0..n-1
+        assert np.array_equal(olds, np.arange(n_slices))
         launches, fallbacks = _batched_stats(platform)
         assert launches == 0
         assert fallbacks == 1
+        assert platform.stats.get("exec.fallback_reason.atomic") == 1
+
+    def test_raw_hazard_falls_back(self):
+        # The interpreter fallback must still produce the right result,
+        # and the aborted walk must not have leaked partial stores.
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n_slices = 128
+        pool = runtime.alloc(n_slices * 32)
+        out = runtime.alloc(n_slices * 32)
+        runtime.run_kernel(RAW_KERNEL, pool, pool + n_slices * 32,
+                           args=pack_args(out))
+        produced = runtime.read_array(out, np.int64, n_slices * 4)
+        offsets = np.arange(n_slices, dtype=np.int64) * 32
+        assert np.array_equal(produced[::4], offsets)
+        assert np.array_equal(produced[1::4], offsets)
+        launches, fallbacks = _batched_stats(platform)
+        assert launches == 0
+        assert fallbacks == 1
+        assert platform.stats.get("exec.fallback_reason.raw") == 1
+
+    def test_translation_fault_falls_back(self):
+        # Loads through an unmapped pointer cannot be vectorized (the
+        # walk would need the interpreter's per-access fault semantics).
+        source = """
+        .body
+            li      x4, 0x7F0000000
+            ld      x5, 0(x4)       // unmapped -> translation fault
+            sd      x5, 0(x1)
+            ret
+        """
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        pool = runtime.alloc(128 * 32)
+        from repro.errors import TranslationFault
+        with pytest.raises(TranslationFault):
+            runtime.run_kernel(source, pool, pool + 128 * 32)
+        launches, fallbacks = _batched_stats(platform)
+        assert launches == 0
+        assert fallbacks == 1
+        assert platform.stats.get("exec.fallback_reason.fault") == 1
 
 
 class TestConcurrentLaunches:
@@ -272,17 +375,17 @@ class TestConcurrentLaunches:
         addr_b = runtime.alloc_array(a)
         addr_c = runtime.alloc(n * 8)
         big = runtime.register_kernel(VECADD, name="big")
-        small = runtime.register_kernel(VECADD, name="small")
+        raw = runtime.register_kernel(RAW_KERNEL, name="raw")
 
         handle_big = runtime.launch_async(
             big, addr_a, addr_a + n * 8, args=pack_args(addr_b, addr_c),
             sync=False,
         )
-        # 8 µthreads: below the batch threshold, runs on the interpreter
-        # and triggers fill_all_units while the batched launch is in flight
+        # 8 µthreads with a RAW hazard: runs on the interpreter and
+        # triggers fill_all_units while the batched launch is in flight
         addr_d = runtime.alloc(8 * 32)
         handle_small = runtime.launch_async(
-            small, addr_a, addr_a + 8 * 32, args=pack_args(addr_b, addr_d),
+            raw, addr_a, addr_a + 8 * 32, args=pack_args(addr_d),
             sync=False,
         )
         runtime.wait_all()

@@ -182,7 +182,10 @@ class TestInvalidation:
 
 
 class TestBypass:
-    def test_fallback_kernels_bypass_cache(self):
+    def test_simt_kernels_cache_their_mask_schedule(self):
+        # phased/atomic kernels run on the masked SIMT engine and cache
+        # their recorded schedule: the second identical launch is a hit,
+        # and the replay re-runs functionally (the accumulator doubles)
         platform = make_platform(backend="batched")
         runtime = platform.runtime
         n = 2048
@@ -194,7 +197,25 @@ class TestBypass:
             runtime.launch_kernel(kid, addr, addr + n * 8,
                                   args=pack_args(out))
         assert runtime.read_array(out, np.int64, 1)[0] == 2 * values.sum()
-        # interpreter-fallback launches never touch the trace cache
+        assert _cache_stats(platform) == (1, 1)
+        assert platform.stats.get("exec.batched_fallbacks") == 0
+        assert platform.stats.get("exec.simt_launches") == 2
+
+    def test_interpreter_fallbacks_bypass_cache(self, monkeypatch):
+        # with the SIMT engine disabled the old fallback classes return
+        # to the interpreter and never touch the trace cache
+        monkeypatch.setenv("REPRO_SIMT", "0")
+        platform = make_platform(backend="batched")
+        runtime = platform.runtime
+        n = 2048
+        values = np.arange(n, dtype=np.int64)
+        addr = runtime.alloc_array(values)
+        out = runtime.alloc(8)
+        kid = runtime.register_kernel(REDUCE_SUM_I64, scratchpad_bytes=64)
+        for _ in range(2):
+            runtime.launch_kernel(kid, addr, addr + n * 8,
+                                  args=pack_args(out))
+        assert runtime.read_array(out, np.int64, 1)[0] == 2 * values.sum()
         assert _cache_stats(platform) == (0, 0)
         assert platform.stats.get("exec.batched_fallbacks") == 2
 
