@@ -14,10 +14,14 @@ that silently puts a Python loop back on the charge path turns CI red
 instead of slowly rotting every sweep.
 
 Two *coverage* gates ride along: the fig06 (HISTO atomics/phases) and
-kvstore (fine-grained divergent GET/SET) smoke points must report
+kvstore (fine-grained divergent GETs) smoke points must report
 ``batched_fallbacks == 0`` — the SIMT engine owns those launch classes,
 and a change that silently hands them back to the interpreter is a
-~10-60x wall cliff the factor-based budget might only catch later.
+~10-60x wall cliff the factor-based budget might only catch later.  A
+*speedup floor* gate also rides along: ``kvstore_point.serving_speedup``
+(scatter-batched serving vs the unbatched interpreter tier) must stay
+above 5x — being a ratio of two walls on the same runner, it needs no
+noise slack.
 
 Usage::
 
@@ -48,6 +52,14 @@ ZERO_FALLBACK_FIELDS = (
     "fig06_point.batched.batched_fallbacks",
     "kvstore_point.batched.batched_fallbacks",
 )
+
+#: Hard floors on speedup ratios in the fresh run, independent of the
+#: committed baseline: the scatter-batched KVStore serving path must
+#: stay >5x faster wall-clock than the unbatched interpreter tier — a
+#: ratio, so runner speed cancels out and no slack factor applies.
+SPEEDUP_FLOOR_FIELDS = {
+    "kvstore_point.serving_speedup": 5.0,
+}
 
 DEFAULT_FACTOR = 2.0
 
@@ -88,6 +100,13 @@ def check(committed: dict, fresh: dict, factor: float) -> list[str]:
             failures.append(
                 f"{field}: {now:.0f} interpreter fallbacks on a "
                 f"SIMT-covered launch class (reasons: {reasons})"
+            )
+    for field, floor in SPEEDUP_FLOOR_FIELDS.items():
+        now = _dig(fresh, field)
+        if now is not None and now < floor:
+            failures.append(
+                f"{field}: {now:.2f}x below the {floor:.1f}x floor "
+                f"(the small-launch serving path regressed)"
             )
     return failures
 

@@ -19,8 +19,11 @@ where ``point`` is one of:
 * ``traffic`` — 100-request open-loop vecadd stream on a 2-device cluster
 * ``fig10a``  — the TPC-H Q6 "small" OLAP point on the batched backend
 * ``kvstore`` — 400 fine-grained KVS_B requests on the batched backend:
-  every launch is a one-µthread divergent chain walk, i.e. pure masked
-  SIMT engine (`repro/exec/simt.py`) — profile this before touching it
+  every launch is a one-µthread divergent chain walk through the point
+  engine (`repro/exec/point.py`) — profile this before touching it
+* ``kvstore-batched`` — scatter-batched KVStore serving (warm + timed
+  pass, mirroring the ``kvstore_point`` smoke gate); also reachable as
+  ``--preset kvstore-batched``
 * ``histo``   — one HISTO4096 launch (phases + scratchpad + vector
   atomics), the bulk-lane SIMT path
 
@@ -115,11 +118,39 @@ def run_histo() -> None:
     histogram.run_ndp(platform, data)
 
 
+def run_kvstore_batched() -> None:
+    """Scatter-batched KVStore serving: the point engine's trie replay.
+
+    Mirrors the ``kvstore_point`` smoke measurement (warm pass to fill
+    the point-path families, then a steady-state pass) — profile this
+    before touching ``repro/exec/point.py`` or the scatter serving path.
+    """
+    from repro.cluster import make_cluster_platform
+    from repro.serve import (ArrivalSpec, BatchPolicy, ServingEngine,
+                             TenantSpec)
+
+    platform = make_cluster_platform(num_devices=1, backend="batched")
+
+    def make_engine() -> "ServingEngine":
+        tenants = [TenantSpec(
+            "kv", "kvstore",
+            arrivals=ArrivalSpec("poisson", rate_rps=4e7, requests=300),
+            size=512,
+        )]
+        return ServingEngine(platform, tenants,
+                             batch=BatchPolicy(max_batch=16),
+                             inflight_per_device=2)
+
+    make_engine().run()     # warm the point-path tries
+    make_engine().run()     # steady-state pass (all launches replay)
+
+
 POINTS = {
     "cluster": run_cluster,
     "traffic": run_traffic,
     "fig10a": run_fig10a,
     "kvstore": run_kvstore,
+    "kvstore-batched": run_kvstore_batched,
     "histo": run_histo,
 }
 
@@ -128,6 +159,9 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("point", nargs="?", default="cluster",
                         choices=sorted(POINTS))
+    parser.add_argument("--preset", default=None, choices=sorted(POINTS),
+                        help="flag-style alternative to the positional "
+                             "point (takes precedence when given)")
     parser.add_argument("--top", type=int, default=20,
                         help="functions to show per ranking (default 20)")
     parser.add_argument("--sort", default="both",
@@ -137,7 +171,8 @@ def main(argv: list[str] | None = None) -> None:
                         help="also dump raw pstats to this file")
     args = parser.parse_args(argv)
 
-    workload = POINTS[args.point]
+    point = args.preset or args.point
+    workload = POINTS[point]
     profiler = cProfile.Profile()
     start = time.perf_counter()
     profiler.enable()
@@ -145,7 +180,7 @@ def main(argv: list[str] | None = None) -> None:
     profiler.disable()
     wall = time.perf_counter() - start
 
-    print(f"profiled smoke point {args.point!r}: {wall:.3f}s wall\n")
+    print(f"profiled smoke point {point!r}: {wall:.3f}s wall\n")
     stats = pstats.Stats(profiler)
     rankings = (("tottime", "cumulative") if args.sort == "both"
                 else (args.sort,))

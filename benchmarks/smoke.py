@@ -5,7 +5,9 @@ Q6, "small" scale) on *both* execution backends, one Fig 6-class HISTO
 point (vector atomics + init/final phases + scratchpad — a guaranteed
 interpreter fallback before the SIMT engine, now its bulk-lane
 showcase), one Fig 10b-class KVStore point (fine-grained one-µthread
-divergent chain walks, the masked engine's single-lane path), one
+divergent chain walks served through the serving engine: scatter
+batching + the point engine's trie replay vs the unbatched
+interpreter, gated >5x and byte-identical), one
 cluster point (2-device interleaved vecadd vs 1 device), one
 repeated-launch traffic point (100 open-loop vecadd requests through the
 cluster — the trace cache's home turf), and one serving point (two
@@ -29,6 +31,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import platform as platform_mod
 import sys
 import time
@@ -39,10 +42,9 @@ from repro.cluster import make_cluster_platform
 from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
 from repro.host.api import pack_args
-from repro.host.offload import make_offload_path
 from repro.kernels.vecadd import VECADD
 from repro.serve import ArrivalSpec, BatchPolicy, ServingEngine, TenantSpec
-from repro.workloads import histogram, kvstore, olap
+from repro.workloads import histogram, olap
 from repro.workloads.base import make_platform, scale
 
 SMOKE_QUERY = "q6"
@@ -54,9 +56,15 @@ SMOKE_SCALE = "small"
 FIG06_SMOKE_ELEMENTS = 1 << 16
 FIG06_SMOKE_BINS = 4096
 
-#: Fig 10b-class smoke point: fine-grained KVStore GET/SET requests.
+#: Fig 10b-class smoke point: fine-grained KVStore GETs through the
+#: serving engine.  The load knobs are chosen so real scatter batches
+#: form (arrivals outpace single-launch service): at 4e7 rps with two
+#: launches in flight, ~14 requests fuse per launch on average.
 KVSTORE_SMOKE_ITEMS = 512
 KVSTORE_SMOKE_REQUESTS = 300
+KVSTORE_SMOKE_RATE_RPS = 4e7
+KVSTORE_SMOKE_MAX_BATCH = 16
+KVSTORE_SMOKE_INFLIGHT = 2
 
 #: Cluster smoke point: elements per vecadd array (2 MB — big enough to be
 #: bandwidth-bound, small enough for a CI run).
@@ -156,30 +164,106 @@ def bench_fig06_point(elements: int = FIG06_SMOKE_ELEMENTS,
     return out
 
 
+_KVS_CACHE_COUNTERS = (
+    "exec.trace_cache_hits",
+    "exec.trace_cache_misses",
+    "exec.trace_cache_hits_generalized",
+    "exec.trace_cache_hits_point",
+    "exec.trace_cache_hits_batched",
+    "exec.trace_cache_hits_simt",
+)
+
+
+def _run_kvstore_serving(backend: str, max_batch: int, scatter: str,
+                         items: int, requests: int) -> tuple:
+    """One steady-state KVStore serving run: warm pass, then timed pass.
+
+    The warm pass populates the trace cache with the (value-generalized)
+    point-path families; the timed pass measures the serving wall-clock
+    a long-running tenant actually sees.  The interpreter baseline runs
+    the same two-pass protocol for fairness (warming buys it nothing —
+    it has no cache to warm).
+    """
+    previous = os.environ.get("REPRO_SERVE_SCATTER_BATCH")
+    os.environ["REPRO_SERVE_SCATTER_BATCH"] = scatter
+    try:
+        plat = make_cluster_platform(num_devices=1, backend=backend)
+
+        def make_engine() -> ServingEngine:
+            tenants = [TenantSpec(
+                "kv", "kvstore",
+                arrivals=ArrivalSpec("poisson",
+                                     rate_rps=KVSTORE_SMOKE_RATE_RPS,
+                                     requests=requests),
+                size=items,
+            )]
+            return ServingEngine(
+                plat, tenants, batch=BatchPolicy(max_batch=max_batch),
+                inflight_per_device=KVSTORE_SMOKE_INFLIGHT,
+            )
+
+        make_engine().run()
+        before = {key: plat.stats.get(key) for key in _KVS_CACHE_COUNTERS}
+        # two timed passes, best-of: wall-clock noise on a loaded CI
+        # machine easily exceeds the gate margin on a single ~30 ms run
+        wall = None
+        for _ in range(2):
+            engine = make_engine()
+            start = time.perf_counter()
+            report = engine.run()
+            elapsed = time.perf_counter() - start
+            if wall is None:
+                # cache counters are the delta over the first timed pass
+                cache = {key.removeprefix("exec."):
+                         plat.stats.get(key) - before[key]
+                         for key in _KVS_CACHE_COUNTERS}
+                wall = elapsed
+            else:
+                wall = min(wall, elapsed)
+        return plat, report, wall, cache, engine.result_snapshots()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SERVE_SCATTER_BATCH", None)
+        else:
+            os.environ["REPRO_SERVE_SCATTER_BATCH"] = previous
+
+
 def bench_kvstore_point(items: int = KVSTORE_SMOKE_ITEMS,
                         requests: int = KVSTORE_SMOKE_REQUESTS) -> dict:
-    """Fig 10b-class KVStore mix on both backends (single-lane SIMT).
+    """Fig 10b-class KVStore GETs through the serving engine, both tiers.
 
-    Every request is a one-µthread divergent chain walk with an atomic
-    SET path — the masked engine's n=1 case.  Gated on zero interpreter
-    fallbacks so the fine-grained class cannot silently regress.
+    Every request is a one-µthread divergent chain walk — the launch
+    class where per-launch engine setup used to dominate (the
+    small-launch cliff).  The batched tier serves it through scatter
+    batching + the point engine's trie replay; the interpreter tier is
+    the unbatched per-request baseline.  Counters are deltas over the
+    timed (steady-state) pass only.
     """
-    out: dict = {"items": items, "requests": requests, "mix": "KVS_B"}
-    for backend in ("interpreter", "batched"):
-        data = kvstore.kvs_b(items, requests)
-        plat = make_platform(backend=backend)
-        start = time.perf_counter()
-        run = kvstore.run_ndp(plat, data, make_offload_path("m2func"))
-        wall = time.perf_counter() - start
-        out[backend] = {
+    out: dict = {"items": items, "requests": requests,
+                 "rate_rps": KVSTORE_SMOKE_RATE_RPS,
+                 "max_batch": KVSTORE_SMOKE_MAX_BATCH,
+                 "inflight_per_device": KVSTORE_SMOKE_INFLIGHT}
+    snapshots = {}
+    for label, backend, max_batch, scatter in (
+            ("interpreter", "interpreter", 1, "0"),
+            ("batched", "batched", KVSTORE_SMOKE_MAX_BATCH, "1")):
+        plat, report, wall, cache, snaps = _run_kvstore_serving(
+            backend, max_batch, scatter, items, requests)
+        snapshots[label] = snaps
+        out[label] = {
             "wall_seconds": wall,
-            "p95_ns": run.p95_ns,
-            "served": run.served,
-            "correct": run.correct,
-            "trace_cache_hits": plat.stats.get("exec.trace_cache_hits"),
-            "trace_cache_misses": plat.stats.get("exec.trace_cache_misses"),
+            "p95_ns": report.p95_ns,
+            "served": report.served,
+            "correct": report.correct,
+            "launches": report.launches,
+            "mean_batch": report.mean_batch,
+            **cache,
             **_exec_profile(plat),
         }
+    out["results_identical"] = (
+        snapshots["interpreter"] == snapshots["batched"])
+    out["serving_speedup"] = (
+        out["interpreter"]["wall_seconds"] / out["batched"]["wall_seconds"])
     out["p95_ratio"] = (
         out["batched"]["p95_ns"] / out["interpreter"]["p95_ns"]
     )
@@ -365,12 +449,16 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"({fig06['simt_wall_speedup']:.1f}x wall, sim-time ratio "
           f"{fig06['simt_runtime_ratio']:.2f}, "
           f"{fig06['batched']['batched_fallbacks']:.0f} fallbacks)")
-    print(f"  kvstore {kvs['mix']} {kvs['requests']} reqs: "
-          f"interpreter {kvs['interpreter']['wall_seconds']:.2f}s, "
-          f"SIMT {kvs['batched']['wall_seconds']:.2f}s, p95 ratio "
-          f"{kvs['p95_ratio']:.2f}, "
-          f"{kvs['batched']['batched_fallbacks']:.0f} fallbacks "
-          f"(reasons {kvs['batched']['fallback_reasons'] or 'none'})")
+    print(f"  kvstore serving {kvs['requests']} reqs: "
+          f"interpreter {kvs['interpreter']['wall_seconds']*1e3:.0f}ms, "
+          f"scatter {kvs['batched']['wall_seconds']*1e3:.0f}ms "
+          f"({kvs['serving_speedup']:.1f}x wall, p95 ratio "
+          f"{kvs['p95_ratio']:.2f}, mean batch "
+          f"{kvs['batched']['mean_batch']:.1f}, cache "
+          f"{kvs['batched']['trace_cache_hits']:.0f} hits / "
+          f"{kvs['batched']['trace_cache_hits_generalized']:.0f} gen / "
+          f"{kvs['batched']['trace_cache_misses']:.0f} misses, "
+          f"identical: {kvs['results_identical']})")
     print(f"  cluster vecadd {cluster['elements']} elems: "
           f"2-device speedup {cluster['cluster_speedup']:.2f}x "
           f"({cluster['x2']['sub_launches']:.0f} sub-launches)")
@@ -401,10 +489,28 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         )
     if not (kvs["interpreter"]["correct"] and kvs["batched"]["correct"]):
         raise SystemExit("kvstore smoke point produced incorrect results")
+    if not kvs["results_identical"]:
+        raise SystemExit(
+            "scatter-batched kvstore serving changed per-request results"
+        )
     if kvs["batched"]["batched_fallbacks"] != 0:
         raise SystemExit(
             f"kvstore smoke point fell back to the interpreter "
             f"({kvs['batched']['fallback_reasons']})"
+        )
+    if kvs["serving_speedup"] < 5.0:
+        raise SystemExit(
+            f"kvstore serving lost its wall-clock edge over the "
+            f"interpreter ({kvs['serving_speedup']:.1f}x, floor 5x)"
+        )
+    if kvs["p95_ratio"] > 1.18:
+        raise SystemExit(
+            f"kvstore serving p95 drifted from the interpreter's "
+            f"({kvs['p95_ratio']:.2f}, ceiling 1.18)"
+        )
+    if kvs["batched"]["trace_cache_hits"] <= 0:
+        raise SystemExit(
+            "kvstore serving stopped hitting the point trace cache"
         )
     if not (cluster["x1"]["correct"] and cluster["x2"]["correct"]):
         raise SystemExit("cluster smoke point produced incorrect results")

@@ -63,6 +63,7 @@ import numpy as np
 
 from repro.exec.base import register_backend
 from repro.exec.interpreter import InterpreterBackend
+from repro.exec.point import attempt_point
 from repro.exec.simt import (
     MAX_TRACE_STEPS,
     LaunchFallback,
@@ -682,6 +683,7 @@ class BatchedBackend(InterpreterBackend):
         super().__init__(device)
         self.trace_cache = TraceCache.from_env()
         self.simt_enabled = os.environ.get("REPRO_SIMT", "1") != "0"
+        self.point_enabled = os.environ.get("REPRO_POINT", "1") != "0"
 
     # ------------------------------------------------------------------
 
@@ -735,6 +737,16 @@ class BatchedBackend(InterpreterBackend):
                     route, failure = "simt", None
 
         if route == "simt" and failure is None:
+            # Point tier: launches no wider than the device (one µthread
+            # per unit) execute as a synchronous per-lane walk with
+            # verified symbolic replay — the masked engine's per-launch
+            # numpy setup costs more than such launches' entire work.
+            # ``REPRO_POINT=0`` restores the masked-engine behaviour.
+            if (self.point_enabled and why != "phases"
+                    and execution.instance.num_body_uthreads
+                    <= device.config.ndp.num_units):
+                attempt_point(self, execution, now_ns)
+                return
             failure = self._attempt_simt(execution, key, now_ns)
             if failure is None:
                 return
@@ -756,6 +768,7 @@ class BatchedBackend(InterpreterBackend):
             try:
                 plan = _BatchReplay(device, execution, entry=entry).run()
                 device.stats.add("exec.trace_cache_hits")
+                device.stats.add("exec.trace_cache_hits_batched")
             except (StaleTrace, LaunchFallback, UnsupportedVectorOp):
                 # behaviour diverged from the recorded trace (data-
                 # dependent control flow or addressing): retrace
@@ -794,6 +807,7 @@ class BatchedBackend(InterpreterBackend):
             try:
                 plan = SimtPlan(device, execution, entry=entry).run()
                 device.stats.add("exec.trace_cache_hits")
+                device.stats.add("exec.trace_cache_hits_simt")
             except (StaleTrace, LaunchFallback):
                 # mask schedule or addressing diverged: retrace from scratch
                 cache.invalidate(key)

@@ -1,0 +1,1115 @@
+"""Point-launch engine: taint-traced walk + verified symbolic replay.
+
+Tiny launches (n <= the device's lane width, one µthread per unit) are
+the M2NDP serving case the paper optimizes for — millions of KVS GETs,
+each a single bucket-chain walk — and exactly where the bulk engines
+fall off a cliff: per-launch numpy setup (mask stacks, shadow arrays,
+fresh register files) costs orders of magnitude more than the handful of
+instructions the kernel runs.  This module executes such launches as a
+plain synchronous per-lane walk (reusing the scalar
+:func:`repro.isa.executor.execute`, committing memory immediately like
+the interpreter) while *taint-tracing* every value it computes:
+
+* plain ``int``  — a value reproducible from the kernel code alone;
+* ``('lin', const, bases)`` — an affine expression over the launch bases
+  ``x1`` (mapped address), ``x2`` (offset), ``x3`` (argument block) and
+  earlier load results ``('ld', k)``;
+* ``('mix', ks)`` — reproducible given the exact bytes of loads ``ks``
+  (promoted to *verified* loads when consumed);
+* ``None`` — unreproducible; the lane's trace is abandoned (the walk
+  still runs to completion, it just isn't cached).
+
+The recorded path — memory events with symbolic address/value specs,
+plus **relational branch guards** ``('br', mnem, a, b, taken)`` — is
+merged into a per-structural-key **decision trie** in the cross-launch
+trace cache (see :func:`repro.exec.trace_cache.point_key` and
+:class:`~repro.exec.trace_cache.PointTrieNode`): paths sharing a prefix
+of guard outcomes share trie nodes, so a replay resolves each shared
+step exactly once and each guard's *live* outcome selects the subtree —
+one linear pass per lane, no per-path retry loop.  Replay runs in two
+phases: phase A resolves every spec against the **live** launch (its
+``x1``/``x2``/``x3``, its argument block, current memory contents
+through an overlay store buffer), follows guards on live values, and
+compares verified-load bytes; phase B commits the stores and AMOs and
+charges timing.  Reaching a guard outcome with no recorded subtree
+means the live launch takes a path never walked before — the replay
+aborts cleanly and a fresh walk records it into the trie; a
+verified-byte mismatch means the recorded data went stale — the family
+is invalidated and retraced
+(:class:`~repro.exec.trace_cache.StaleTrace`).  Either way results are
+byte-identical to the interpreter by construction.
+
+Because guards are relational (``bne x10, x5`` replays as "are the live
+node-key bytes equal to the live argument-key bytes?"), one cached GET
+path serves *every* key whose walk matches/mismatches at the same chain
+positions — the value-generalized hit the serving tier depends on.
+
+Timing: the walk accumulates instruction cycles between memory events
+and charges each event through the unit's live ``timed_accesses`` —
+matching the interpreter's event-driven schedule exactly for solo lanes
+(per-instruction issue servers never stall a single thread) — and
+records each event's observed latency into the path entry.  Replays
+apply the recorded deltas instead of re-walking the L1/L2/DRAM servers
+(the dominant per-hit cost), re-charging live and re-recording every
+``_REFRESH_PERIOD``-th replay so hit latencies track the warm memory
+system; traffic counters (``ndp.global_traffic_bytes`` etc.) are
+tallied exactly on every replay.  Cross-launch issue pressure is still
+applied as one bulk ``service_batch`` charge per lane.
+
+``REPRO_POINT=0`` disables this engine (small launches go back to the
+masked SIMT path); ``REPRO_TRACE_CACHE_GENERALIZE=0`` keeps the engine
+but pins exact-value cache keys.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.executor import (
+    _BRANCHES,
+    _BRANCHES_Z,
+    _V_FP_COMPARES,
+    _V_FP_SCALAR,
+    _V_INT_COMPARES,
+    _V_INT_SCALAR,
+    FP_LOADS,
+    LOAD_SIGNED,
+    MemAccess,
+    execute,
+)
+from repro.isa.encoding import OpClass
+from repro.isa.registers import (
+    UThreadRegisters,
+    to_signed32,
+    to_signed64,
+    to_unsigned64,
+)
+from repro.errors import TranslationFault
+from repro.mem.scratchpad import _apply_amo
+from repro.ndp.generator import SPAWN_LATENCY_NS
+from repro.exec.trace_cache import PointPathEntry, StaleTrace, point_key
+
+_MASK64 = (1 << 64) - 1
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+
+#: Sentinels for reproducible-constant float / vector taints.
+_FCONST = "fc"
+_VCONST = "vc"
+
+_AMO_SIGNED = True  # int AMO olds are packed signed (device._AMO_INT)
+
+#: Every Nth successful replay of a path re-charges its memory events
+#: through the live L1/L2/DRAM servers and re-records the per-step
+#: latencies; the replays in between apply the recorded deltas, so hit
+#: timing tracks the warm memory system at 1/N of its cost.
+_REFRESH_PERIOD = 32
+
+
+class _PathMismatch(Exception):
+    """The live launch takes a different branch path than the recording."""
+
+
+# ---------------------------------------------------------------------------
+# affine expression algebra
+# ---------------------------------------------------------------------------
+#
+# ('lin', const, bases) with bases a tuple of (token, coef); tokens are
+# 'x1' / 'x2' / 'x3' (live launch registers) or ('ld', k) (load event k,
+# resolved from its replayed bytes).  A plain int is the degenerate lin.
+
+
+def _is_lin(t) -> bool:
+    return isinstance(t, int) or (isinstance(t, tuple) and t[0] == "lin")
+
+
+def _lin_parts(t):
+    if isinstance(t, int):
+        return t, {}
+    return t[1], dict(t[2])
+
+
+def _mk_lin(const: int, bases: dict):
+    bases = {tok: c for tok, c in bases.items() if c}
+    if not bases:
+        return const
+    return ("lin", const, tuple(sorted(bases.items(), key=repr)))
+
+
+def _lin_add(a, b, sign: int = 1):
+    ca, ba = _lin_parts(a)
+    cb, bb = _lin_parts(b)
+    for tok, coef in bb.items():
+        ba[tok] = ba.get(tok, 0) + sign * coef
+    return _mk_lin(ca + sign * cb, ba)
+
+
+def _lin_scale(a, factor: int):
+    const, bases = _lin_parts(a)
+    return _mk_lin(const * factor,
+                   {tok: c * factor for tok, c in bases.items()})
+
+
+def _lin_ld_only(t):
+    """The load set of a lin over load bases only; None if x-based."""
+    if isinstance(t, int):
+        return frozenset()
+    for tok, _ in t[2]:
+        if not isinstance(tok, tuple):
+            return None
+    return frozenset(tok[1] for tok, _ in t[2])
+
+
+# ---------------------------------------------------------------------------
+# recording memory proxy
+# ---------------------------------------------------------------------------
+
+
+class _RecordingMemory:
+    """Applies accesses to the live unit memory while capturing bytes."""
+
+    __slots__ = ("real", "events")
+
+    def __init__(self, real) -> None:
+        self.real = real
+        self.events: list[tuple] = []
+
+    def load(self, vaddr: int, size: int) -> bytes:
+        raw = self.real.load(vaddr, size)
+        self.events.append(("ld", vaddr, size, raw))
+        return raw
+
+    def store(self, vaddr: int, data) -> None:
+        self.real.store(vaddr, data)
+        self.events.append(("st", vaddr, len(data), bytes(data)))
+
+    def amo(self, op: str, vaddr: int, operand, size: int, is_float: bool):
+        old = self.real.amo(op, vaddr, operand, size, is_float)
+        self.events.append(("amo", vaddr, size, old, op, operand, is_float))
+        return old
+
+
+class _Overlay:
+    """Phase-A store buffer: reads see live memory + buffered writes.
+
+    ``cache`` memoizes raw memory reads across the *failed* path
+    attempts of one lane (phase A never mutates memory, so a re-read of
+    the same location by the next candidate path is identical) — it must
+    not outlive the lane's commit.
+    """
+
+    __slots__ = ("mem", "cache", "writes")
+
+    def __init__(self, mem, cache: dict) -> None:
+        self.mem = mem
+        self.cache = cache
+        self.writes: list[tuple[int, bytes]] = []
+
+    def read(self, vaddr: int, size: int) -> bytes:
+        raw = self.cache.get((vaddr, size))
+        if raw is None:
+            raw = self.mem.load(vaddr, size)
+            self.cache[(vaddr, size)] = raw
+        merged = None
+        for base, data in self.writes:
+            lo = max(base, vaddr)
+            hi = min(base + len(data), vaddr + size)
+            if lo < hi:
+                if merged is None:
+                    merged = bytearray(raw)
+                merged[lo - vaddr:hi - vaddr] = data[lo - base:hi - base]
+        return bytes(merged) if merged is not None else raw
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        self.writes.append((vaddr, data))
+
+
+# ---------------------------------------------------------------------------
+# taint tracking
+# ---------------------------------------------------------------------------
+
+
+class _Taint:
+    """Per-lane symbolic state mirroring the architectural registers."""
+
+    __slots__ = ("x", "f", "v", "loads", "steps", "cycles", "ok")
+
+    def __init__(self) -> None:
+        self.x = [0] * 32
+        self.x[1] = _mk_lin(0, {"x1": 1})
+        self.x[2] = _mk_lin(0, {"x2": 1})
+        self.x[3] = _mk_lin(0, {"x3": 1})
+        self.f = [_FCONST] * 32
+        self.v = [_VCONST] * 32
+        #: per load event: [size, signed, bytes, verify]
+        self.loads: list[list] = []
+        self.steps: list[tuple] = []
+        self.cycles = 0
+        self.ok = True
+
+    # -- taint source readers (promote-on-consume helpers) --------------
+
+    def _x_mix(self, idx: int):
+        """Load set making x[idx] reproducible; None if impossible."""
+        t = self.x[idx]
+        if t is None:
+            return None
+        if _is_lin(t):
+            return _lin_ld_only(t)
+        return t[1]                      # ('mix', ks)
+
+    def _f_mix(self, idx: int):
+        t = self.f[idx]
+        if t is _FCONST:
+            return frozenset()
+        return t                         # frozenset | None
+
+    def _v_mix(self, idx: int):
+        t = self.v[idx]
+        if t is _VCONST:
+            return frozenset()
+        if isinstance(t, tuple):         # ('vld', k)
+            return frozenset((t[1],))
+        return t                         # frozenset | None
+
+    def promote(self, ks) -> None:
+        for k in ks:
+            self.loads[k][3] = True
+
+    # -- consumption specs ----------------------------------------------
+
+    def value_spec(self, taint, raw: bytes):
+        """Spec reproducing a store's bytes, or None if impossible."""
+        if taint is None:
+            return None
+        if isinstance(taint, int) or taint is _FCONST or taint is _VCONST:
+            return ("lit", raw)
+        if _is_lin(taint):
+            ks = _lin_ld_only(taint)
+            if ks is None:
+                return ("expr", taint, len(raw))
+            # ld-only lin still resolves live — keeps generalization
+            return ("expr", taint, len(raw))
+        ks = taint[1] if not isinstance(taint, frozenset) else taint
+        if ks is None:
+            return None
+        self.promote(ks)
+        return ("lit", raw)
+
+    def addr_spec(self, taint, live_addr: int):
+        if taint is None:
+            return None
+        if isinstance(taint, int):
+            return live_addr
+        if _is_lin(taint):
+            return taint
+        ks = taint[1] if isinstance(taint, tuple) else taint
+        if ks is None:
+            return None
+        self.promote(ks)
+        return live_addr
+
+    def guard_spec(self, idx: int, live_value: int):
+        """Operand spec for a branch guard, or _FAIL sentinel (None)."""
+        t = self.x[idx]
+        if t is None:
+            return None
+        if isinstance(t, int):
+            return ("lit", live_value)
+        if _is_lin(t):
+            return ("expr", t)
+        ks = t[1]
+        self.promote(ks)
+        return ("lit", live_value)
+
+
+def _mix_result(sets):
+    """Union load sets; None if any input is unreproducible."""
+    out = set()
+    for s in sets:
+        if s is None:
+            return None
+        out |= s
+    return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# the per-lane walk (miss path)
+# ---------------------------------------------------------------------------
+
+
+class _LaneWalk:
+    """Execute one lane synchronously, recording a cacheable path."""
+
+    def __init__(self, device, unit, execution, mapped: int, offset: int,
+                 cache_enabled: bool) -> None:
+        instance = execution.instance
+        self.device = device
+        self.unit = unit
+        self.asid = instance.asid
+        self.period = device.config.ndp.clock.period_ns
+        self.program = instance.kernel.program.bodies[0]
+        self.regs = UThreadRegisters()
+        self.regs.write_x(1, mapped)
+        self.regs.write_x(2, offset)
+        self.regs.write_x(3, execution.args_vaddr)
+        self.mem = _RecordingMemory(unit.memory_for(instance.asid))
+        self.taint = _Taint() if cache_enabled else None
+        self.trace_len = 0
+        self.fu_counts: dict = {}
+        self.lat: list[float] = []
+
+    def run(self, t0: float) -> tuple[float, "PointPathEntry | None"]:
+        """Walk the body; returns (completion_ns, cacheable entry)."""
+        instructions = self.program.instructions
+        count = len(instructions)
+        regs, mem, taint = self.regs, self.mem, self.taint
+        period = self.period
+        t = t0
+        cyc = 0
+        pc = 0
+        while pc < count:
+            inst = instructions[pc]
+            cyc += inst.latency_cycles
+            self.trace_len += 1
+            self.fu_counts[inst.unit] = self.fu_counts.get(inst.unit, 0) + 1
+            mem.events.clear()
+            result = execute(inst, regs, mem)
+            if taint is not None and taint.ok:
+                if not self._record(inst, result, cyc):
+                    taint.ok = False
+            if result.accesses:
+                t += cyc * period
+                cyc = 0
+                issue = t
+                t = self.unit.timed_accesses(result.accesses, t, self.asid)
+                if taint is not None and taint.ok:
+                    self.lat.append(t - issue)
+            if result.done:
+                break
+            pc = result.jump_to if result.jump_to is not None else pc + 1
+        t += cyc * period
+        entry = None
+        if taint is not None and taint.ok:
+            steps = self._freeze_steps()
+            mem_steps = sum(1 for s in steps if s[0] == "mem")
+            if mem_steps == len(self.lat):
+                entry = PointPathEntry(
+                    translation_version=self.device.translation_version,
+                    steps=steps,
+                    tail_cycles=cyc,
+                    trace_len=self.trace_len,
+                    fu_counts=self.fu_counts,
+                    exemplar=(0, 0, b""),    # filled by the caller
+                    lat=self.lat,
+                    lat_sum=sum(self.lat),
+                )
+        return t, entry
+
+    # -- recording ------------------------------------------------------
+
+    def _freeze_steps(self) -> list:
+        """Attach verify bytes to load records once promotion settled."""
+        taint = self.taint
+        frozen = []
+        for step in taint.steps:
+            if step[0] != "mem":
+                frozen.append(step)
+                continue
+            accesses = []
+            for access in step[2]:
+                if access[0] == "ld":
+                    _, addr, size, k, signed = access
+                    info = taint.loads[k]
+                    verify = info[2] if info[3] else None
+                    accesses.append(("ld", addr, size, k, signed, verify))
+                elif access[0] == "amo":
+                    _, addr, size, k, op, is_float, op_spec = access
+                    info = taint.loads[k]
+                    verify = info[2] if info[3] else None
+                    accesses.append(("amo", addr, size, k, op, is_float,
+                                     op_spec, verify))
+                else:
+                    accesses.append(access)
+            frozen.append(("mem", step[1], tuple(accesses)))
+        return frozen
+
+    def _record(self, inst, result, pre_cycles: int) -> bool:
+        """Update taint for one executed instruction; False = uncacheable."""
+        op = inst.op_class
+        handler = _RECORDERS.get(op)
+        if handler is None:
+            return False
+        return handler(self, inst, result, pre_cycles)
+
+
+# -- per-opclass taint recorders (module functions for dispatch speed) ---
+
+
+def _set_x(taint, rd, value):
+    if rd:
+        taint.x[rd] = value
+
+
+def _rec_alu(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    regs = walk.regs
+    m = inst.mnemonic
+    x = taint.x
+    if m == "add" or m == "sub":
+        a, b = x[inst.rs1], x[inst.rs2]
+        if _is_lin(a) and _is_lin(b):
+            _set_x(taint, inst.rd, _lin_add(a, b, -1 if m == "sub" else 1))
+            return True
+        return _rec_nl_x(taint, regs, inst.rd,
+                         (taint._x_mix(inst.rs1), taint._x_mix(inst.rs2)))
+    if m == "addi":
+        a = x[inst.rs1]
+        if _is_lin(a):
+            _set_x(taint, inst.rd, _lin_add(a, inst.imm))
+            return True
+        return _rec_nl_x(taint, regs, inst.rd, (taint._x_mix(inst.rs1),))
+    if m == "slli":
+        a = x[inst.rs1]
+        if _is_lin(a):
+            _set_x(taint, inst.rd, _lin_scale(a, 1 << (inst.imm & 63)))
+            return True
+        return _rec_nl_x(taint, regs, inst.rd, (taint._x_mix(inst.rs1),))
+    if m == "mv":
+        _set_x(taint, inst.rd, x[inst.rs1])
+        return True
+    if m == "neg":
+        a = x[inst.rs1]
+        if _is_lin(a):
+            _set_x(taint, inst.rd, _lin_scale(a, -1))
+            return True
+        return _rec_nl_x(taint, regs, inst.rd, (taint._x_mix(inst.rs1),))
+    if m in ("li", "lui"):
+        _set_x(taint, inst.rd, int(regs.x[inst.rd]))
+        return True
+    # remaining scalar ALU forms: classify sources by bank
+    x_dest = True
+    srcs = []
+    if m in ("and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+             "mul", "mulhu", "div", "divu", "rem", "remu", "addw", "mulw"):
+        srcs = [taint._x_mix(inst.rs1), taint._x_mix(inst.rs2)]
+    elif m in ("andi", "ori", "xori", "srli", "srai", "slti", "sltiu",
+               "seqz", "snez"):
+        srcs = [taint._x_mix(inst.rs1)]
+    elif m in ("flt.d", "fle.d", "feq.d"):
+        srcs = [taint._f_mix(inst.rs1), taint._f_mix(inst.rs2)]
+    elif m in ("fmv.x.d", "fcvt.l.d"):
+        srcs = [taint._f_mix(inst.rs1)]
+    elif m in ("fmv.d.x", "fcvt.d.l", "fcvt.s.l"):
+        x_dest = False
+        srcs = [taint._x_mix(inst.rs1)]
+    elif m in ("fmv.d", "fsqrt.d"):
+        x_dest = False
+        srcs = [taint._f_mix(inst.rs1)]
+    elif m == "fmadd.d":
+        x_dest = False
+        srcs = [taint._f_mix(inst.rs1), taint._f_mix(inst.rs2),
+                taint._f_mix(inst.rs3)]
+    else:
+        # FP binops (fadd.d etc.) write f[rd] from f sources
+        x_dest = False
+        srcs = [taint._f_mix(inst.rs1), taint._f_mix(inst.rs2)]
+    if x_dest:
+        return _rec_nl_x(taint, regs, inst.rd, srcs)
+    ks = _mix_result(srcs)
+    taint.f[inst.rd] = _FCONST if ks == frozenset() else ks
+    return True
+
+
+def _rec_nl_x(taint, regs, rd, srcs) -> bool:
+    ks = _mix_result(srcs)
+    if ks is None:
+        _set_x(taint, rd, None)
+        return True                      # lane stays cacheable; value dead-ends
+    if ks:
+        _set_x(taint, rd, ("mix", ks))
+    else:
+        _set_x(taint, rd, int(regs.x[rd]))
+    return True
+
+
+def _rec_branch(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    regs = walk.regs
+    m = inst.mnemonic
+    if m == "j":
+        return True
+    taken = result.jump_to is not None
+    if m in _BRANCHES:
+        ta, tb = taint.x[inst.rs1], taint.x[inst.rs2]
+        if isinstance(ta, int) and isinstance(tb, int):
+            return True                  # outcome is code-determined
+        a = taint.guard_spec(inst.rs1, int(regs.x[inst.rs1]))
+        b = taint.guard_spec(inst.rs2, int(regs.x[inst.rs2]))
+        if a is None or b is None:
+            return False
+        # fully-promoted operands need no guard: verified loads pin them
+        if a[0] == "lit" and b[0] == "lit":
+            return True
+        taint.steps.append(("br", m, a, b, taken))
+        return True
+    if isinstance(taint.x[inst.rs1], int):
+        return True
+    a = taint.guard_spec(inst.rs1, int(regs.x[inst.rs1]))
+    if a is None:
+        return False
+    if a[0] == "lit":
+        return True
+    taint.steps.append(("br", m, a, None, taken))
+    return True
+
+
+def _rec_load(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    event = walk.mem.events[0]
+    _, vaddr, size, raw = event
+    addr = taint.addr_spec(_lin_add(taint.x[inst.rs1], inst.imm)
+                           if _is_lin(taint.x[inst.rs1])
+                           else taint.x[inst.rs1], vaddr)
+    if addr is None:
+        return False
+    m = inst.mnemonic
+    k = len(taint.loads)
+    signed = m in LOAD_SIGNED
+    taint.loads.append([size, signed, raw, False])
+    if m in FP_LOADS:
+        taint.f[inst.rd] = frozenset((k,))
+    else:
+        _set_x(taint, inst.rd, _mk_lin(0, {("ld", k): 1}))
+    taint.steps.append(("mem", pre, (("ld", addr, size, k, signed),)))
+    return True
+
+
+def _rec_store(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    _, vaddr, size, raw = walk.mem.events[0]
+    addr = taint.addr_spec(_lin_add(taint.x[inst.rs1], inst.imm)
+                           if _is_lin(taint.x[inst.rs1])
+                           else taint.x[inst.rs1], vaddr)
+    if addr is None:
+        return False
+    m = inst.mnemonic
+    src_taint = (taint.f[inst.rs2] if m in ("fsw", "fsd")
+                 else taint.x[inst.rs2])
+    value = taint.value_spec(src_taint, raw)
+    if value is None:
+        return False
+    taint.steps.append(("mem", pre, (("st", addr, size, value),)))
+    return True
+
+
+def _rec_amo(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    _, vaddr, size, old, op, operand, is_float = walk.mem.events[0]
+    addr = taint.addr_spec(_lin_add(taint.x[inst.rs1], inst.imm)
+                           if _is_lin(taint.x[inst.rs1])
+                           else taint.x[inst.rs1], vaddr)
+    if addr is None:
+        return False
+    if is_float:
+        ot = taint.f[inst.rs2]
+        if ot is _FCONST:
+            op_spec = ("lit", operand)
+        elif ot is None:
+            return False
+        else:
+            taint.promote(ot)
+            op_spec = ("lit", operand)
+    else:
+        ot = taint.x[inst.rs2]
+        if isinstance(ot, int):
+            op_spec = ("lit", operand)
+        elif ot is None:
+            return False
+        elif _is_lin(ot):
+            op_spec = ("expr", ot)
+        else:
+            taint.promote(ot[1])
+            op_spec = ("lit", operand)
+    k = len(taint.loads)
+    taint.loads.append([size, _AMO_SIGNED, _pack_amo_old(old, size, is_float),
+                        False])
+    if is_float:
+        taint.f[inst.rd] = frozenset((k,))
+    else:
+        _set_x(taint, inst.rd, _mk_lin(0, {("ld", k): 1}))
+    taint.steps.append(
+        ("mem", pre, (("amo", addr, size, k, op, is_float, op_spec),)))
+    return True
+
+
+def _pack_amo_old(old, size: int, is_float: bool) -> bytes:
+    """Recorded AMO old value as raw memory bytes (for verified replay)."""
+    if is_float:
+        return _F32.pack(old) if size == 4 else _F64.pack(old)
+    return (old & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+
+
+def _rec_vset(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    t = taint.x[inst.rs1]
+    if not isinstance(t, int):
+        ks = taint._x_mix(inst.rs1)
+        if ks is None:
+            return False
+        taint.promote(ks)
+    _set_x(taint, inst.rd, int(walk.regs.x[inst.rd]))
+    return True
+
+
+def _rec_vload(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    if not walk.mem.events:              # vl == 0
+        taint.v[inst.rd] = _VCONST
+        return True
+    _, vaddr, size, raw = walk.mem.events[0]
+    addr = taint.addr_spec(_lin_add(taint.x[inst.rs1], inst.imm)
+                           if _is_lin(taint.x[inst.rs1])
+                           else taint.x[inst.rs1], vaddr)
+    if addr is None:
+        return False
+    k = len(taint.loads)
+    taint.loads.append([size, False, raw, False])
+    taint.v[inst.rd] = ("vld", k)
+    taint.steps.append(("mem", pre, (("ld", addr, size, k, False),)))
+    return True
+
+
+def _rec_vstore(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    if not walk.mem.events:
+        return True
+    _, vaddr, size, raw = walk.mem.events[0]
+    addr = taint.addr_spec(_lin_add(taint.x[inst.rs1], inst.imm)
+                           if _is_lin(taint.x[inst.rs1])
+                           else taint.x[inst.rs1], vaddr)
+    if addr is None:
+        return False
+    vt = taint.v[inst.rd]
+    if isinstance(vt, tuple) and vt[0] == "vld":
+        k = vt[1]
+        if taint.loads[k][0] == size and not taint.loads[k][3]:
+            # byte passthrough: store the load's live bytes untouched
+            taint.steps.append(("mem", pre, (("st", addr, size,
+                                              ("pass", k)),)))
+            return True
+    value = taint.value_spec(vt, raw)
+    if value is None:
+        return False
+    taint.steps.append(("mem", pre, (("st", addr, size, value),)))
+    return True
+
+
+def _rec_indexed(walk: _LaneWalk, inst, result, pre) -> bool:
+    """vgather / vscatter / vamo: per-element events off one base."""
+    taint = walk.taint
+    if inst.rd in (inst.rs1, inst.rs2) and inst.op_class is OpClass.VGATHER:
+        return False                     # base/offsets clobbered mid-decode
+    base_t = taint.x[inst.rs1]
+    if base_t is None:
+        return False
+    offs = taint._v_mix(inst.rs2)
+    if offs is None:
+        return False
+    taint.promote(offs)
+    live_base = to_unsigned64(walk.regs.x[inst.rs1])
+    if not _is_lin(base_t):
+        taint.promote(base_t[1])
+        base_t = live_base
+    accesses = []
+    ks = set()
+    if inst.op_class is OpClass.VGATHER:
+        for _, vaddr, size, raw in walk.mem.events:
+            addr = _lin_add(base_t, (vaddr - live_base) & _MASK64)
+            k = len(taint.loads)
+            taint.loads.append([size, False, raw, False])
+            ks.add(k)
+            accesses.append(("ld", addr, size, k, False))
+        taint.v[inst.rd] = frozenset(ks)
+    elif inst.op_class is OpClass.VSCATTER:
+        vt = taint._v_mix(inst.rd)
+        if vt is None:
+            return False
+        taint.promote(vt)
+        for _, vaddr, size, raw in walk.mem.events:
+            addr = _lin_add(base_t, (vaddr - live_base) & _MASK64)
+            accesses.append(("st", addr, size, ("lit", raw)))
+    else:                                # VAMO
+        vt = taint._v_mix(inst.rd)
+        if vt is None:
+            return False
+        taint.promote(vt)
+        for _, vaddr, size, old, op, operand, is_float in walk.mem.events:
+            addr = _lin_add(base_t, (vaddr - live_base) & _MASK64)
+            k = len(taint.loads)
+            taint.loads.append([size, _AMO_SIGNED,
+                                _pack_amo_old(old, size, is_float), False])
+            accesses.append(("amo", addr, size, k, op, is_float,
+                             ("lit", operand)))
+    if accesses:
+        taint.steps.append(("mem", pre, tuple(accesses)))
+    return True
+
+
+def _rec_valu(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    m = inst.mnemonic
+    if m in ("vmv.v.i", "vid.v"):
+        taint.v[inst.rd] = _VCONST
+        return True
+    srcs = []
+    if m in ("vmv.v.x", "vmv.s.x"):
+        srcs.append(taint._x_mix(inst.rs1))
+    elif m == "vfmv.v.f":
+        srcs.append(taint._f_mix(inst.rs1))
+    else:
+        srcs.append(taint._v_mix(inst.rs1))
+    if m in _V_INT_SCALAR or m in _V_INT_COMPARES or m == "vmerge.vxm":
+        srcs.append(taint._x_mix(inst.rs2))
+    elif m in _V_FP_SCALAR or m in _V_FP_COMPARES or m == "vfmacc.vf":
+        srcs.append(taint._f_mix(inst.rs2))
+    elif m.endswith(".vv") or m.endswith(".mm"):
+        srcs.append(taint._v_mix(inst.rs2))
+    if m in ("vmacc.vv", "vfmacc.vf", "vfmacc.vv", "vmv.s.x"):
+        srcs.append(taint._v_mix(inst.rd))
+    if m in ("vmerge.vxm", "vmerge.vim"):
+        srcs.append(taint._v_mix(0))
+    ks = _mix_result(srcs)
+    if m == "vmv.x.s":
+        if ks is None:
+            _set_x(taint, inst.rd, None)
+        elif ks:
+            _set_x(taint, inst.rd, ("mix", ks))
+        else:
+            _set_x(taint, inst.rd, int(walk.regs.x[inst.rd]))
+        return True
+    if m == "vfmv.f.s":
+        taint.f[inst.rd] = _FCONST if ks == frozenset() else ks
+        return True
+    taint.v[inst.rd] = _VCONST if ks == frozenset() else ks
+    return True
+
+
+def _rec_vred(walk: _LaneWalk, inst, result, pre) -> bool:
+    taint = walk.taint
+    ks = _mix_result((taint._v_mix(inst.rs1), taint._v_mix(inst.rs2)))
+    taint.v[inst.rd] = _VCONST if ks == frozenset() else ks
+    return True
+
+
+def _rec_nop(walk, inst, result, pre) -> bool:
+    return True
+
+
+_RECORDERS = {
+    OpClass.ALU: _rec_alu,
+    OpClass.BRANCH: _rec_branch,
+    OpClass.LOAD: _rec_load,
+    OpClass.STORE: _rec_store,
+    OpClass.AMO: _rec_amo,
+    OpClass.VSET: _rec_vset,
+    OpClass.VLOAD: _rec_vload,
+    OpClass.VSTORE: _rec_vstore,
+    OpClass.VGATHER: _rec_indexed,
+    OpClass.VSCATTER: _rec_indexed,
+    OpClass.VAMO: _rec_indexed,
+    OpClass.VALU_OP: _rec_valu,
+    OpClass.VRED: _rec_vred,
+    OpClass.FENCE: _rec_nop,
+    OpClass.RET: _rec_nop,
+}
+
+
+# ---------------------------------------------------------------------------
+# verified replay (hit path)
+# ---------------------------------------------------------------------------
+
+
+def _replay_lane(unit, family, live, t0: float, asid: int, period: float,
+                 read_cache: dict) -> tuple[float, PointPathEntry]:
+    """Replay one lane against a family's path trie in a single pass.
+
+    ``live`` maps base token -> live value ('x1', 'x2', 'x3').  The trie
+    walk resolves each shared step exactly once: a guard's live outcome
+    selects the child subtree, so candidate paths are never retried
+    individually.  Raises :class:`_PathMismatch` when an outcome has no
+    recorded subtree (a control path never walked before) and
+    :class:`StaleTrace` when verified bytes changed (invalidate the
+    family + retrace).  On success the stores/AMOs are committed, timing
+    is charged, and (completion_ns, matched path entry) returned.
+    """
+    memory = unit.memory_for(asid)
+    overlay = _Overlay(memory, read_cache)
+    loads: dict[int, tuple[bytes, bool]] = {}
+    lvals: dict[int, int] = {}           # memoized load-value integers
+    # a refresh replay rebuilds MemAccess events and charges them live,
+    # re-recording the matched path's latency profile; the replays in
+    # between apply the recorded deltas and only tally traffic counters
+    refresh = family.replays % _REFRESH_PERIOD == 0
+    spad_lo, spad_hi = unit._spad_base, unit._spad_end
+    spad_bytes = glob_bytes = glob_count = 0
+
+    def resolve(spec) -> int:
+        if isinstance(spec, int):
+            return spec
+        total = spec[1]
+        for tok, coef in spec[2]:
+            if isinstance(tok, tuple):
+                k = tok[1]
+                value = lvals.get(k)
+                if value is None:
+                    raw, signed = loads[k]
+                    value = lvals[k] = int.from_bytes(raw, "little",
+                                                      signed=signed)
+                total += coef * value
+            else:
+                total += coef * live[tok]
+        return total
+
+    # -- phase A: resolve, guard, verify (zero mutation, zero charges) --
+    timeline: list[tuple[int, tuple]] = []
+    pre_total = 0
+    commits: list[tuple] = []
+    node = family.root
+    try:
+        while True:
+            for step in node.mems:
+                _, pre, accesses = step
+                events = [] if refresh else None
+                for access in accesses:
+                    akind = access[0]
+                    addr = to_unsigned64(resolve(access[1]))
+                    size = access[2]
+                    if spad_lo <= addr < spad_hi:
+                        spad_bytes += size
+                    else:
+                        glob_bytes += size
+                        glob_count += 1
+                    if akind == "ld":
+                        raw = overlay.read(addr, size)
+                        if access[5] is not None and raw != access[5]:
+                            raise StaleTrace("point path data went stale")
+                        loads[access[3]] = (raw, access[4])
+                        if refresh:
+                            events.append(MemAccess(addr, size,
+                                                    is_write=False))
+                    elif akind == "st":
+                        spec = access[3]
+                        if spec[0] == "lit":
+                            raw = spec[1]
+                        elif spec[0] == "pass":
+                            raw = loads[spec[1]][0]
+                        else:
+                            value = to_signed64(resolve(spec[1]))
+                            raw = ((value & ((1 << (8 * spec[2])) - 1))
+                                   .to_bytes(spec[2], "little"))
+                        overlay.write(addr, raw)
+                        commits.append(("st", addr, raw))
+                        if refresh:
+                            events.append(MemAccess(addr, size,
+                                                    is_write=True))
+                    else:                # amo
+                        _, _, _, k, op, is_float, op_spec, verify = access
+                        old_raw = overlay.read(addr, size)
+                        if verify is not None and old_raw != verify:
+                            raise StaleTrace("point path AMO old went stale")
+                        loads[k] = (old_raw, _AMO_SIGNED)
+                        if op_spec[0] == "lit":
+                            operand = op_spec[1]
+                        else:
+                            operand = to_signed64(resolve(op_spec[1]))
+                            if size == 4:
+                                operand = to_signed32(operand)
+                        commits.append(("amo", addr, size, op, operand,
+                                        is_float))
+                        # keep the overlay coherent for later reads
+                        if is_float:
+                            packer = _F32 if size == 4 else _F64
+                            old = packer.unpack(old_raw)[0]
+                            new = _apply_amo(op, old, operand)
+                            overlay.write(addr, packer.pack(new))
+                        else:
+                            old = int.from_bytes(old_raw, "little",
+                                                 signed=True)
+                            new = _apply_amo(op, old, operand)
+                            bits = new & ((1 << (8 * size)) - 1)
+                            overlay.write(addr,
+                                          bits.to_bytes(size, "little"))
+                        if refresh:
+                            events.append(MemAccess(addr, size,
+                                                    is_write=True,
+                                                    is_amo=True))
+                if refresh:
+                    timeline.append((pre, tuple(events)))
+                else:
+                    pre_total += pre
+            guard = node.guard
+            if guard is not None:
+                m, a, b = guard
+                av = (a[1] if a[0] == "lit"
+                      else to_signed64(resolve(a[1])))
+                if b is None:
+                    outcome = _BRANCHES_Z[m](av)
+                else:
+                    bv = (b[1] if b[0] == "lit"
+                          else to_signed64(resolve(b[1])))
+                    outcome = _BRANCHES[m](av, bv)
+                child = node.children.get(outcome)
+                if child is None:
+                    raise _PathMismatch  # unrecorded control path
+                node = child
+            else:
+                entry = node.entry
+                if entry is None:
+                    raise _PathMismatch  # empty family
+                break
+    except TranslationFault:
+        raise _PathMismatch from None
+
+    # -- phase B: commit + timing (resolve order == commit order) -------
+    for commit in commits:
+        if commit[0] == "st":
+            memory.store(commit[1], commit[2])
+        else:
+            memory.amo(commit[3], commit[1], commit[4], commit[2], commit[5])
+    family.replays += 1
+    entry.replays += 1
+    if refresh:
+        t = t0
+        new_lat = []
+        for pre, events in timeline:
+            t += pre * period
+            issue = t
+            t = unit.timed_accesses(events, t, asid)
+            new_lat.append(t - issue)
+        entry.lat = new_lat
+        entry.lat_sum = sum(new_lat)
+    else:
+        stats = unit.stats
+        if spad_bytes:
+            stats.add("ndp.spad_traffic_bytes", spad_bytes)
+        if glob_count:
+            stats.add("ndp.global_traffic_bytes", glob_bytes)
+            stats.add("ndp.global_accesses", glob_count)
+        t = t0 + pre_total * period + entry.lat_sum
+    return t + entry.tail_cycles * period, entry
+
+
+# ---------------------------------------------------------------------------
+# launch orchestration
+# ---------------------------------------------------------------------------
+
+
+def attempt_point(backend, execution, now_ns: float) -> None:
+    """Run a point launch through walk/replay; always succeeds.
+
+    The caller has already checked eligibility (single body, no phases,
+    n <= number of units).  Commits are immediate and interpreter-
+    equivalent, so there is no fallback: translation faults propagate
+    exactly as the interpreter's would.
+    """
+    device = backend.device
+    cache = backend.trace_cache
+    stats = device.stats
+    instance = execution.instance
+    cfg = device.config.ndp
+    period = cfg.clock.period_ns
+    num_units = cfg.num_units
+    asid = instance.asid
+    stride = instance.uthread_stride
+    n = instance.num_body_uthreads
+    tv = device.translation_version
+
+    key = point_key(execution, cache.generalize) if cache.enabled else None
+    family = cache.lookup_point(key, tv) if cache.enabled else None
+    identity = (instance.pool_base, instance.offset_bias, instance.args)
+
+    t0 = max(now_ns, device.sim.now) + SPAWN_LATENCY_NS
+    lane_done: list[float] = []
+    total_inst = 0
+    hits = misses = gen_hits = 0
+
+    for lane in range(n):
+        unit = device.units[lane % num_units]
+        live = {
+            "x1": instance.pool_base + lane * stride,
+            "x2": instance.offset_bias + lane * stride,
+            "x3": execution.args_vaddr,
+        }
+        done_t = None
+        lane_len = 0
+        lane_fu: dict = {}
+        if family is not None:
+            try:
+                done_t, entry = _replay_lane(unit, family, live, t0, asid,
+                                             period, {})
+            except _PathMismatch:
+                pass
+            except StaleTrace:
+                cache.invalidate_point(key)
+                family = None
+            else:
+                hits += 1
+                if identity != entry.exemplar:
+                    gen_hits += 1
+                lane_len, lane_fu = entry.trace_len, entry.fu_counts
+        if done_t is None:
+            walk = _LaneWalk(device, unit, execution,
+                             mapped=live["x1"], offset=live["x2"],
+                             cache_enabled=cache.enabled)
+            done_t, entry = walk.run(t0)
+            lane_len, lane_fu = walk.trace_len, walk.fu_counts
+            if cache.enabled:
+                misses += 1
+                if entry is not None:
+                    entry.exemplar = identity
+                    cache.store_point(key, tv, entry)
+                    family = cache.lookup_point(key, tv)
+        total_inst += lane_len
+        # bulk issue pressure on the lane's sub-core (no per-inst servers)
+        subcore = unit.subcores[0]
+        subcore.dispatch.service_batch(t0, lane_len)
+        subcore.instructions_issued += lane_len
+        for fu, count in lane_fu.items():
+            server = subcore.units.get(fu)
+            if server is not None:
+                server.service_batch(t0, count)
+        lane_done.append(done_t)
+
+    stats.add("ndp.instructions", total_inst)
+    stats.add("ndp.uthreads_spawned", n)
+    stats.add("ndp.uthreads_finished", n)
+    stats.add("exec.simt_launches")
+    stats.add("exec.point_launches")
+    if hits:
+        stats.add("exec.trace_cache_hits", hits)
+        stats.add("exec.trace_cache_hits_point", hits)
+    if gen_hits:
+        stats.add("exec.trace_cache_hits_generalized", gen_hits)
+    if misses:
+        stats.add("exec.trace_cache_misses", misses)
+
+    slots = cfg.subcores_per_unit * cfg.uthread_slots_per_subcore
+    ratio = min((n + num_units - 1) // num_units, slots) / slots
+    for unit in device.units:
+        unit.occupancy.sampler.record(t0, ratio)
+
+    completion = max(lane_done) if lane_done else t0
+    instance.lane_complete_ns = list(lane_done)
+
+    def finish() -> None:
+        now = device.sim.now
+        instance.instructions += total_inst
+        instance.uthreads_done = instance.uthreads_total
+        for unit in device.units:
+            unit.occupancy.sampler.record(now, 0.0)
+        execution.finish_now(now)
+
+    execution.consume_plan()
+    backend._active.append(execution)
+    device.sim.schedule_at(completion, finish)

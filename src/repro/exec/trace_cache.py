@@ -33,6 +33,18 @@ change wall-clock time but never results.
 ``REPRO_TRACE_CACHE=0`` disables the cache entirely (every launch takes
 the full trace path); ``REPRO_TRACE_CACHE_CAPACITY`` bounds the number of
 retained entries (LRU, default 64).
+
+Point launches (n <= lane width, :mod:`repro.exec.point`) cache
+:class:`PointPathEntry` *families*: one cache slot per **structural** key
+holding the distinct control-flow paths observed for that kernel shape.
+Their key deliberately omits the pool base and the raw argument bytes —
+the recorded path carries symbolic address/branch expressions that are
+re-evaluated against the live launch, so a KVS GET for key A replays a
+path recorded for key B as long as both walks take the same branches
+(``exec.trace_cache_hits_generalized`` counts such hits).
+``REPRO_TRACE_CACHE_GENERALIZE=0`` restores exact-value keys (pool base,
+bound, bias and argument bytes all pinned), the pre-generalization
+behaviour.
 """
 
 from __future__ import annotations
@@ -47,6 +59,11 @@ from repro.isa.encoding import FUnit
 
 #: Default number of cached launch shapes kept per device.
 DEFAULT_CAPACITY = 64
+
+#: Distinct control-flow paths retained per point-launch family (one
+#: family occupies one LRU slot; a hash-chain walk needs roughly
+#: depth x first-mismatch-word paths, well under this).
+MAX_POINT_PATHS = 16
 
 
 class StaleTrace(Exception):
@@ -93,6 +110,165 @@ def trace_key(execution) -> tuple:
         instance.asid,
         instance.args,
     )
+
+
+def point_key(execution, generalize: bool = True) -> tuple:
+    """Structural cache key for a point launch (n <= lane width).
+
+    With ``generalize`` the key is value-free: code hash, stride, ASID
+    and argument-block *length* only.  Pool base, offset bias and the
+    argument bytes are excluded because the cached path stores them
+    symbolically (see :mod:`repro.exec.point`) and re-resolves them
+    against the live launch; relational branch guards + verified load
+    bytes ensure a path only replays when it reproduces the launch's
+    exact control flow.  Without ``generalize`` every value is pinned,
+    restoring exact-key (pre-generalization) matching.
+    """
+    instance = execution.instance
+    code = kernel_code_hash(instance.kernel.program.bodies[0])
+    if not generalize:
+        return ("point", code, instance.pool_base, instance.pool_bound,
+                instance.uthread_stride, instance.offset_bias,
+                instance.asid, instance.args)
+    return ("point", code, instance.uthread_stride, instance.asid,
+            len(instance.args))
+
+
+@dataclass
+class PointPathEntry:
+    """One recorded control-flow path of a point launch's body walk.
+
+    ``steps`` is the ordered event stream the verified replay consumes:
+    ``('mem', pre_cycles, accesses)`` items interleaved with
+    ``('br', mnemonic, a_spec, b_spec, taken)`` relational guards.
+    Access/operand specs are either concrete values or ``('lin', ...)``
+    expressions over the live launch's ``x1``/``x2``/``x3`` bases and
+    earlier load results — see :mod:`repro.exec.point` for the algebra.
+    """
+
+    translation_version: int
+    steps: list
+    tail_cycles: int
+    trace_len: int
+    fu_counts: dict
+    #: (pool_base, offset_bias, args) of the recording launch — a hit
+    #: from any other launch is a *generalized* hit.
+    exemplar: tuple
+    #: per-mem-step latency deltas recorded from the last live-charged
+    #: execution of this path; replays re-apply them instead of walking
+    #: the memory-system servers, refreshing periodically (see
+    #: ``repro.exec.point._REFRESH_PERIOD``)
+    lat: list = field(default_factory=list)
+    #: precomputed ``sum(lat)`` (non-refresh replays apply the total)
+    lat_sum: float = 0.0
+    #: successful replays so far (observability: per-path popularity)
+    replays: int = 0
+
+    @property
+    def verify_bytes(self) -> int:
+        """Total load bytes the replay re-checks (observability)."""
+        total = 0
+        for step in self.steps:
+            if step[0] != "mem":
+                continue
+            for access in step[2]:
+                if access[0] == "ld" and access[5] is not None:
+                    total += len(access[5])
+        return total
+
+
+class PointTrieNode:
+    """One node of a point family's control-flow decision trie.
+
+    All paths of a family share step prefixes up to their first
+    differing branch outcome, so the family is stored as a trie: a node
+    carries the run of memory steps every path through it shares
+    (``mems``), then either branches on one relational guard
+    (``guard`` + ``children`` keyed by outcome) or terminates a path
+    (``entry``).  Replay walks the trie once — shared prefixes are
+    resolved exactly once per lane, and reaching an outcome with no
+    child is a clean miss (a control path never yet recorded).
+    """
+
+    __slots__ = ("mems", "guard", "children", "entry")
+
+    def __init__(self) -> None:
+        self.mems: list = []
+        #: (mnemonic, a_spec, b_spec) of the branching guard, or None
+        self.guard: tuple | None = None
+        self.children: dict[bool, "PointTrieNode"] = {}
+        self.entry: PointPathEntry | None = None
+
+
+def _build_trie(steps: list, i: int, entry: PointPathEntry) -> PointTrieNode:
+    """Chain of fresh trie nodes for a path suffix ``steps[i:]``."""
+    node = PointTrieNode()
+    while i < len(steps) and steps[i][0] == "mem":
+        node.mems.append(steps[i])
+        i += 1
+    if i < len(steps):
+        guard = steps[i]
+        node.guard = (guard[1], guard[2], guard[3])
+        node.children[guard[4]] = _build_trie(steps, i + 1, entry)
+    else:
+        node.entry = entry
+    return node
+
+
+@dataclass
+class PointFamily:
+    """All cached paths of one structural point key (one LRU slot)."""
+
+    translation_version: int
+    root: PointTrieNode = field(default_factory=PointTrieNode)
+    leaves: int = 0
+    #: successful replays across the family (drives latency refresh)
+    replays: int = 0
+
+    def insert(self, steps: list, entry: PointPathEntry) -> bool:
+        """Merge one recorded path into the trie.
+
+        Returns False on a structural conflict — the new path shares a
+        guard-outcome prefix with a cached one but records different
+        steps (e.g. different verified bytes), which deterministic
+        control flow makes vanishingly rare; the caller drops the
+        family and starts fresh.
+        """
+        if self.leaves >= MAX_POINT_PATHS:
+            return True                  # full: keep the established paths
+        node = self.root
+        i = 0
+        while True:
+            for mem in node.mems:
+                if i >= len(steps) or steps[i] != mem:
+                    return False
+                i += 1
+            if node.guard is not None:
+                if i >= len(steps):
+                    return False
+                step = steps[i]
+                if step[0] != "br" or (step[1], step[2], step[3]) != node.guard:
+                    return False
+                i += 1
+                child = node.children.get(step[4])
+                if child is None:
+                    node.children[step[4]] = _build_trie(steps, i, entry)
+                    self.leaves += 1
+                    return True
+                node = child
+            elif node.entry is not None:
+                if i != len(steps):
+                    return False
+                node.entry = entry       # re-recorded after staleness
+                return True
+            else:                        # empty root: first path
+                fresh = _build_trie(steps, i, entry)
+                node.mems = fresh.mems
+                node.guard = fresh.guard
+                node.children = fresh.children
+                node.entry = fresh.entry
+                self.leaves += 1
+                return True
 
 
 @dataclass
@@ -149,9 +325,11 @@ class TraceCache:
     """Per-device LRU cache of :class:`TraceEntry` keyed by launch shape."""
 
     def __init__(self, enabled: bool = True,
-                 capacity: int = DEFAULT_CAPACITY) -> None:
+                 capacity: int = DEFAULT_CAPACITY,
+                 generalize: bool = True) -> None:
         self.enabled = enabled
         self.capacity = capacity
+        self.generalize = generalize
         self._entries: OrderedDict[tuple, TraceEntry] = OrderedDict()
 
     @classmethod
@@ -159,7 +337,9 @@ class TraceCache:
         enabled = os.environ.get("REPRO_TRACE_CACHE", "1") != "0"
         capacity = int(os.environ.get("REPRO_TRACE_CACHE_CAPACITY",
                                       DEFAULT_CAPACITY))
-        return cls(enabled=enabled, capacity=capacity)
+        generalize = os.environ.get("REPRO_TRACE_CACHE_GENERALIZE",
+                                    "1") != "0"
+        return cls(enabled=enabled, capacity=capacity, generalize=generalize)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -191,3 +371,43 @@ class TraceCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # -- point-launch path families -----------------------------------
+
+    def lookup_point(self, key: tuple,
+                     translation_version: int) -> PointFamily | None:
+        """Fresh path-trie family for a structural point key, or None."""
+        if not self.enabled:
+            return None
+        family = self._entries.get(key)
+        if not isinstance(family, PointFamily):
+            return None
+        if family.translation_version != translation_version:
+            # memory layout changed under the recorded paths: invalidate
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return family
+
+    def store_point(self, key: tuple, translation_version: int,
+                    entry: PointPathEntry) -> None:
+        if not self.enabled:
+            return
+        family = self._entries.get(key)
+        if (not isinstance(family, PointFamily)
+                or family.translation_version != translation_version):
+            family = PointFamily(translation_version=translation_version)
+        if not family.insert(entry.steps, entry):
+            # structural conflict: restart the family with the fresh path
+            family = PointFamily(translation_version=translation_version)
+            family.insert(entry.steps, entry)
+        self._entries[key] = family
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_point(self, key: tuple) -> None:
+        """Drop a whole family (stale verified bytes somewhere in it)."""
+        family = self._entries.get(key)
+        if isinstance(family, PointFamily):
+            del self._entries[key]

@@ -15,6 +15,16 @@ GET: pool region = the request's 32 B result slot; the kernel writes the
 64 B value at ``x1`` and a found/not-found status at ``x1+64``.
 Arguments: [0] bucket head-pointer address, [8..24] key words.
 
+GET (scatter-batched): the serving tier fuses up to ``max_batch``
+independent GETs into ONE launch over a staging ring — pool region = N
+64 B staging entries, one µthread each.  Every lane reads its *own*
+request descriptor from its entry at ``x1`` (bucket head-pointer
+address, key words, result-slot pointer) and then runs the identical
+chain walk, writing the value/status through the loaded slot pointer.
+The argument block is empty: all per-request values arrive via memory,
+so the trace cache sees one structural launch shape regardless of keys
+or batch composition.
+
 SET: overwrite-in-place when the key exists; otherwise link a
 host-preallocated node at the chain head with an atomic swap.
 Arguments: [0] bucket head-pointer address, [8..24] key words,
@@ -54,6 +64,43 @@ next:
     j    walk
 notfound:
     sd   x0, 64(x1)       // status: not found
+    ret
+"""
+
+KVS_GET_SCATTER = """
+.body
+    ld   x4, 0(x1)        // bucket head-pointer address
+    ld   x5, 8(x1)        // key word 0
+    ld   x6, 16(x1)       // key word 1
+    ld   x7, 24(x1)       // key word 2
+    ld   x8, 32(x1)       // result-slot pointer
+    ld   x9, 0(x4)        // first node
+walk:
+    beqz x9, notfound
+    ld   x10, 0(x9)
+    bne  x10, x5, next
+    ld   x10, 8(x9)
+    bne  x10, x6, next
+    ld   x10, 16(x9)
+    bne  x10, x7, next
+    // found: copy the 64 B value into the request's result slot
+    addi x11, x9, 32
+    li   x13, 32
+    vsetvli x0, x13, e8
+    vle8.v v1, (x11)
+    vse8.v v1, (x8)
+    addi x11, x11, 32
+    addi x12, x8, 32
+    vle8.v v1, (x11)
+    vse8.v v1, (x12)
+    li   x14, 1
+    sd   x14, 64(x8)      // status: found
+    ret
+next:
+    ld   x9, 96(x9)       // chain next
+    j    walk
+notfound:
+    sd   x0, 64(x8)       // status: not found
     ret
 """
 

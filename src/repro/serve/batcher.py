@@ -22,9 +22,16 @@ few wide ones, which is precisely what the cross-launch trace cache
 slices than the cache holds thrashes it unbatched, and hits on every
 launch once batched (measured by the serving smoke point).
 
-Requests whose workload is not batchable (KVStore GETs — one µthread
-walking one bucket chain, every request a different pool region and key)
-always dispatch alone.
+Point-lookup workloads (KVStore GETs — one µthread walking one bucket
+chain, every request a different pool region and key) can never merge by
+slice contiguity.  They batch through the **scatter** mode instead: up
+to ``max_batch`` arbitrary queue-head requests fuse into one wide launch
+over a staging ring of per-request descriptors (see
+:meth:`repro.serve.tenant.TenantWorkload.plan`), one µthread per
+request.  Scatter batches never hold the queue head — they take whatever
+has accumulated, so an idle system still dispatches single requests at
+the lowest possible latency and a loaded one amortizes the launch
+machinery across the batch.
 """
 
 from __future__ import annotations
@@ -55,12 +62,18 @@ class BatchPolicy:
 
 @dataclass
 class Batch:
-    """One dispatchable unit: requests covering slices [slice_lo, slice_hi)."""
+    """One dispatchable unit: requests covering slices [slice_lo, slice_hi).
+
+    ``scatter`` marks a gather-batch of independent point requests (the
+    slice range is then merely the covering interval of the members'
+    identity slices, not a contiguous merged run).
+    """
 
     tenant: str
     requests: list[Request]
     slice_lo: int
     slice_hi: int
+    scatter: bool = False
 
     @property
     def size(self) -> int:
@@ -74,8 +87,10 @@ class DynamicBatcher:
         self.policy = policy
 
     def preview(self, queue: RequestQueue, tenant: str,
-                batchable: bool) -> list[Request]:
+                batchable: bool, scatter: bool = False) -> list[Request]:
         """The mergeable head run that :meth:`take` would dispatch now."""
+        if scatter and self.policy.enabled:
+            return queue.head_run(tenant, self.policy.max_batch)
         limit = self.policy.max_batch if batchable else 1
         head = queue.head_run(tenant, limit)
         if not head:
@@ -93,13 +108,17 @@ class DynamicBatcher:
         return run
 
     def should_hold(self, queue: RequestQueue, tenant: str, batchable: bool,
-                    now_ns: float, more_arrivals: bool) -> float | None:
+                    now_ns: float, more_arrivals: bool,
+                    scatter: bool = False) -> float | None:
         """Hold the tenant's head for batchmates?  Returns the flush time.
 
         ``None`` means dispatch now: batching disabled, the run is already
         full, the head has aged ``max_wait_ns``, or the stream has no
-        future arrivals that could ever join the batch.
+        future arrivals that could ever join the batch.  Scatter batches
+        never hold — they fuse whatever has already queued.
         """
+        if scatter:
+            return None
         if not (self.policy.enabled and batchable and self.policy.max_wait_ns):
             return None
         if not more_arrivals:
@@ -111,15 +130,35 @@ class DynamicBatcher:
         return flush_at if flush_at > now_ns else None
 
     def take(self, queue: RequestQueue, tenant: str,
-             batchable: bool) -> Batch:
+             batchable: bool, scatter: bool = False) -> Batch:
         """Remove and return the head batch for ``tenant``."""
-        run = self.preview(queue, tenant, batchable)
+        run = self.preview(queue, tenant, batchable, scatter)
         if not run:
             raise ConfigError(f"no queued requests for tenant {tenant!r}")
         taken = queue.pop_run(tenant, len(run))
+        scatter = scatter and self.policy.enabled and len(taken) > 1
+        if not scatter:
+            # A merged run must genuinely chain contiguously (or duplicate
+            # covered slices): a covering [min, max) range over a run with
+            # gaps would launch over slices no request asked for.
+            lo, hi = taken[0].slice_lo, taken[0].slice_hi
+            for request in taken[1:]:
+                if request.slice_lo == hi:
+                    hi = request.slice_hi
+                elif lo <= request.slice_lo and request.slice_hi <= hi:
+                    pass
+                else:
+                    raise ConfigError(
+                        f"batch for tenant {tenant!r} is not contiguous: "
+                        f"slice [{request.slice_lo}, {request.slice_hi}) "
+                        f"does not extend or duplicate [{lo}, {hi})"
+                    )
+            return Batch(tenant=tenant, requests=taken,
+                         slice_lo=lo, slice_hi=hi)
         return Batch(
             tenant=tenant,
             requests=taken,
             slice_lo=min(r.slice_lo for r in taken),
             slice_hi=max(r.slice_hi for r in taken),
+            scatter=True,
         )

@@ -24,7 +24,9 @@ Event flow, all in simulated time on the cluster's shared simulator:
 Environment knobs (validated at construction, explicit arguments win):
 ``REPRO_SERVE_SCHEDULER`` (``fifo``/``wfq``), ``REPRO_SERVE_MAX_BATCH``
 (int >= 1; 1 disables batching) and ``REPRO_SERVE_MAX_WAIT_NS`` (float
->= 0).
+>= 0).  ``REPRO_SERVE_SCATTER_BATCH=0`` disables scatter batching of
+point-lookup tenants (see :mod:`repro.serve.batcher`); it is read by
+the tenant workload, not here.
 """
 
 from __future__ import annotations
@@ -263,6 +265,7 @@ class ServingEngine:
             flush_at = self.batcher.should_hold(
                 self.queue, tenant, state.workload.batchable, now,
                 more_arrivals=state.more_arrivals,
+                scatter=state.workload.scatter_batchable,
             )
             if flush_at is not None:
                 self._schedule_flush(tenant, flush_at)
@@ -290,7 +293,8 @@ class ServingEngine:
             tenant = self.scheduler.pick(heads, now)
             state = self.tenants[tenant]
             batch = self.batcher.take(self.queue, tenant,
-                                      state.workload.batchable)
+                                      state.workload.batchable,
+                                      scatter=state.workload.scatter_batchable)
             self.scheduler.charge(tenant, float(batch.size))
             plan = state.workload.plan(batch.requests)
             self.stats.launched(tenant, batch.size)
@@ -299,23 +303,49 @@ class ServingEngine:
             self.runtime.launch_async(
                 plan.kernel_id, plan.base, plan.bound, args=plan.args,
                 stride=plan.stride, at_ns=now + HOST_DISPATCH_NS,
-                on_complete=self._make_done(state, batch.requests),
+                on_complete=self._make_done(state, batch.requests, plan),
             )
 
-    def _make_done(self, state: _TenantState,
-                   requests: list[Request]) -> Callable:
+    def _lane_completions(self, handle, plan, count: int) -> list[float] | None:
+        """Per-request completion times of a scatter batch, lane order.
+
+        Each fused lane walks one staging-ring descriptor, so request i's
+        completion is the finish time of the lane over descriptor i —
+        reconstructed across sub-launches via each instance's pool base.
+        Falls back to ``None`` (uniform batch completion) when the
+        backend doesn't expose per-lane times (e.g. the interpreter).
+        """
+        times: list[float | None] = [None] * count
+        for instance in self.runtime.instances_of(handle).instances:
+            lanes = getattr(instance, "lane_complete_ns", None)
+            if lanes is None:
+                return None
+            first = (instance.pool_base - plan.base) // plan.stride
+            if first < 0 or first + len(lanes) > count:
+                return None
+            for offset, lane_ns in enumerate(lanes):
+                times[first + offset] = lane_ns
+        if any(t is None for t in times):
+            return None
+        return times
+
+    def _make_done(self, state: _TenantState, requests: list[Request],
+                   plan) -> Callable:
         def done(handle) -> None:
             when = handle.complete_ns if handle.complete_ns is not None \
                 else self.sim.now
             self._charge_busy(when)
             self._inflight -= 1
-            for request in requests:
-                request.complete_ns = when
+            lane_times = (self._lane_completions(handle, plan, len(requests))
+                          if plan.scatter else None)
+            for i, request in enumerate(requests):
+                done_ns = lane_times[i] if lane_times is not None else when
+                request.complete_ns = done_ns
                 self.stats.served(
-                    state.spec.name, when - request.arrival_ns, when,
-                    within_slo=when <= request.deadline_ns,
+                    state.spec.name, done_ns - request.arrival_ns, done_ns,
+                    within_slo=done_ns <= request.deadline_ns,
                 )
-                self._feedback(state, when)
+                self._feedback(state, done_ns)
             self._pump()
         return done
 

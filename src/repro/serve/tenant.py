@@ -14,19 +14,29 @@ Request kinds (same trio as the cluster traffic driver):
 ``vecadd``  bandwidth-bound batched vector jobs; slices of C = A + B.
 ``olap``    column-scan analytics; slices of a predicate mask sweep.
 ``kvstore`` point GETs against a replicated hash table (one µthread per
-            request — never batched, each request has its own key/slot).
+            request).  Contiguous-slice merging never applies (every
+            request walks its own bucket into its own slot), but with
+            **scatter batching** (``REPRO_SERVE_SCATTER_BATCH``, default
+            on) multiple GETs fuse into one wide launch: the host writes
+            one 40 B descriptor per request (bucket pointer, key words,
+            result-slot pointer) into a 64 B-stride staging ring and
+            launches ``KVS_GET_SCATTER`` over the ring, one µthread per
+            descriptor — byte-identical results to unbatched dispatch,
+            one launch's worth of machinery for the whole batch.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.host.api import pack_args
-from repro.kernels.kvstore import KVS_GET
+from repro.kernels.kvstore import KVS_GET, KVS_GET_SCATTER
 from repro.kernels.olap import EVAL_RANGE_I32
 from repro.kernels.vecadd import VECADD
 from repro.serve.arrivals import ArrivalSpec, stream_rng
@@ -93,15 +103,26 @@ class TenantSpec:
         return self.arrivals.total_requests
 
 
+#: Per-request staging-ring entry stride for scatter batches (the 40 B
+#: descriptor padded to its own cache sector so lanes never share one).
+SCATTER_ENTRY_BYTES = 64
+
+
 @dataclass
 class LaunchPlan:
-    """Concrete kernel launch realizing one batch of requests."""
+    """Concrete kernel launch realizing one batch of requests.
+
+    ``scatter`` marks a gather-batched point launch whose per-request
+    completion times the engine reads back from the fused launch's
+    per-lane timing.
+    """
 
     kernel_id: int
     base: int
     bound: int
     args: bytes
     stride: int = 32
+    scatter: bool = False
 
 
 class TenantWorkload:
@@ -120,6 +141,11 @@ class TenantWorkload:
     def batchable(self) -> bool:
         """Contiguous slice ranges merge into one launch (not KVStore)."""
         return self.spec.kind != "kvstore"
+
+    @property
+    def scatter_batchable(self) -> bool:
+        """Independent point requests fuse via the staging ring."""
+        return self.spec.kind == "kvstore" and self._scatter_enabled
 
     def slice_of(self, index: int) -> tuple[int, int]:
         """Working-set slice range request ``index`` covers."""
@@ -179,6 +205,20 @@ class TenantWorkload:
             KVS_GET, name=f"{self.spec.name}.get"
         )
         self._checks: list[tuple[int, int]] = []
+        # scatter batching: a staging ring of per-request descriptors the
+        # fused KVS_GET_SCATTER launch walks, one µthread per entry
+        self._scatter_enabled = (
+            os.environ.get("REPRO_SERVE_SCATTER_BATCH", "1") != "0"
+        )
+        if self._scatter_enabled:
+            self.scatter_kid = self.runtime.register_kernel(
+                KVS_GET_SCATTER, name=f"{self.spec.name}.get_scatter"
+            )
+            self.staging_addr = self.runtime.alloc(
+                requests * SCATTER_ENTRY_BYTES, align=128,
+                placement=placement,
+            )
+            self._staging_cursor = 0
 
     # -- launch construction ------------------------------------------------
 
@@ -203,16 +243,38 @@ class TenantWorkload:
                 self.kid, base, bound,
                 pack_args(self.addr_mask + lo * rows, self.lo, self.hi),
             )
-        # kvstore: exactly one request per launch
-        (request,) = requests
-        req = self.data.requests[request.index]
-        bucket_ptr = self.table.buckets_addr + 8 * kvstore.hash_key(
-            *req.key, self.data.buckets
+        # kvstore: one µthread per request — alone over its result slot,
+        # or scatter-batched over a run of staging-ring descriptors
+        if len(requests) == 1:
+            (request,) = requests
+            req = self.data.requests[request.index]
+            bucket_ptr = self.table.buckets_addr + 8 * kvstore.hash_key(
+                *req.key, self.data.buckets
+            )
+            slot = self.slots_addr + request.index * 128
+            self._checks.append((slot, req.value_seed))
+            return LaunchPlan(self.kid, slot, slot + 32,
+                              pack_args(bucket_ptr, *req.key))
+        base = (self.staging_addr
+                + self._staging_cursor * SCATTER_ENTRY_BYTES)
+        physical = self.runtime.physical
+        for i, request in enumerate(requests):
+            req = self.data.requests[request.index]
+            bucket_ptr = self.table.buckets_addr + 8 * kvstore.hash_key(
+                *req.key, self.data.buckets
+            )
+            slot = self.slots_addr + request.index * 128
+            self._checks.append((slot, req.value_seed))
+            physical.write_bytes(
+                base + i * SCATTER_ENTRY_BYTES,
+                struct.pack("<5Q", bucket_ptr, *req.key, slot),
+            )
+        self._staging_cursor += len(requests)
+        return LaunchPlan(
+            self.scatter_kid, base,
+            base + len(requests) * SCATTER_ENTRY_BYTES,
+            args=b"", stride=SCATTER_ENTRY_BYTES, scatter=True,
         )
-        slot = self.slots_addr + request.index * 128
-        self._checks.append((slot, req.value_seed))
-        return LaunchPlan(self.kid, slot, slot + 32,
-                          pack_args(bucket_ptr, *req.key))
 
     # -- post-run verification ----------------------------------------------
 

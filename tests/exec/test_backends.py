@@ -381,18 +381,19 @@ class TestConcurrentLaunches:
             big, addr_a, addr_a + n * 8, args=pack_args(addr_b, addr_c),
             sync=False,
         )
-        # 8 µthreads with a RAW hazard: runs on the interpreter and
-        # triggers fill_all_units while the batched launch is in flight
-        addr_d = runtime.alloc(8 * 32)
+        # 48 µthreads with a RAW hazard: too wide for the point engine
+        # (> lane width), so it runs on the interpreter and triggers
+        # fill_all_units while the batched launch is in flight
+        addr_d = runtime.alloc(48 * 32)
         handle_small = runtime.launch_async(
-            raw, addr_a, addr_a + 8 * 32, args=pack_args(addr_d),
+            raw, addr_a, addr_a + 48 * 32, args=pack_args(addr_d),
             sync=False,
         )
         runtime.wait_all()
         assert handle_big.complete_ns is not None
         assert handle_small.complete_ns is not None
         assert np.array_equal(runtime.read_array(addr_c, np.int64, n), 2 * a)
-        expected_threads = n * 8 // 32 + 8
+        expected_threads = n * 8 // 32 + 48
         assert platform.stats.get("ndp.uthreads_spawned") == expected_threads
         assert platform.stats.get("ndp.uthreads_finished") == expected_threads
         assert _batched_stats(platform) == (1, 1)

@@ -146,7 +146,10 @@ class TestBatchingEquivalence:
         assert batched.launches < unbatched.launches
         assert batched.mean_batch > 1.5
 
-    def test_kvstore_never_batches(self):
+    def test_kvstore_never_batches_with_scatter_disabled(self, monkeypatch):
+        # the pre-scatter behavior: point lookups can't merge by slice
+        # contiguity, so every request is its own launch
+        monkeypatch.setenv("REPRO_SERVE_SCATTER_BATCH", "0")
         platform = make_cluster_platform(num_devices=1, backend="batched")
         tenants = [
             TenantSpec("kv", "kvstore",
@@ -159,6 +162,23 @@ class TestBatchingEquivalence:
         ).run()
         assert report.correct
         assert report.launches == 20
+
+    def test_kvstore_scatter_batching_fuses_requests(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_SCATTER_BATCH", "1")
+        platform = make_cluster_platform(num_devices=1, backend="batched")
+        tenants = [
+            TenantSpec("kv", "kvstore",
+                       arrivals=ArrivalSpec("poisson", rate_rps=1e7,
+                                            requests=20),
+                       size=256),
+        ]
+        report = ServingEngine(
+            platform, tenants, batch=BatchPolicy(max_batch=8),
+        ).run()
+        assert report.correct
+        assert report.tenant("kv").served == 20
+        assert report.launches < 20
+        assert report.mean_batch > 1.0
 
 
 class TestClosedLoop:
