@@ -21,7 +21,9 @@ and a change that silently hands them back to the interpreter is a
 *speedup floor* gate also rides along: ``kvstore_point.serving_speedup``
 (scatter-batched serving vs the unbatched interpreter tier) must stay
 above 5x — being a ratio of two walls on the same runner, it needs no
-noise slack.
+noise slack.  Finally, ``tracing_point.off_wall_seconds`` gets a *tight*
+1.05x factor: tracing disabled (``REPRO_TRACE=0``, the default) must
+cost nothing, so even a small regression on that field fails CI.
 
 Usage::
 
@@ -59,6 +61,15 @@ ZERO_FALLBACK_FIELDS = (
 #: ratio, so runner speed cancels out and no slack factor applies.
 SPEEDUP_FLOOR_FIELDS = {
     "kvstore_point.serving_speedup": 5.0,
+}
+
+#: Fields with their own *tight* budget factor instead of the default:
+#: disabled tracing must be free, so the tracing-off serving wall only
+#: gets 5% over the committed baseline (plus the same flat noise slack
+#: every wall field gets) — if the ``obs_tracer.ENABLED`` fast path
+#: grows real work, this turns red long before the 2x budget would.
+TIGHT_FACTOR_FIELDS = {
+    "tracing_point.off_wall_seconds": 1.05,
 }
 
 DEFAULT_FACTOR = 2.0
@@ -108,6 +119,17 @@ def check(committed: dict, fresh: dict, factor: float) -> list[str]:
                 f"{field}: {now:.2f}x below the {floor:.1f}x floor "
                 f"(the small-launch serving path regressed)"
             )
+    for field, tight in TIGHT_FACTOR_FIELDS.items():
+        base = _dig(committed, field)
+        now = _dig(fresh, field)
+        if base is None or now is None:
+            continue
+        if now > base * tight + ABS_SLACK_SECONDS:
+            failures.append(
+                f"{field}: {now:.3f}s vs committed {base:.3f}s "
+                f"(> {tight:.2f}x + {ABS_SLACK_SECONDS:.1f}s tracing-off "
+                f"budget — the disabled-tracing fast path grew overhead)"
+            )
     return failures
 
 
@@ -127,6 +149,11 @@ def main(argv: list[str]) -> int:
         if base is not None and now is not None:
             print(f"  {field}: {now:.3f}s (committed {base:.3f}s, "
                   f"budget {base * factor + ABS_SLACK_SECONDS:.3f}s)")
+    for field, tight in TIGHT_FACTOR_FIELDS.items():
+        base, now = _dig(committed, field), _dig(fresh, field)
+        if base is not None and now is not None:
+            print(f"  {field}: {now:.3f}s (committed {base:.3f}s, "
+                  f"budget {base * tight + ABS_SLACK_SECONDS:.3f}s)")
     if failures:
         print("wall-clock budget exceeded:")
         for failure in failures:

@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.cluster import make_cluster_platform
 from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
@@ -356,7 +357,7 @@ def _run_serving(scheduler: str, max_batch: int) -> tuple:
     start = time.perf_counter()
     report = engine.run()
     wall = time.perf_counter() - start
-    return report, wall, engine.result_snapshots()
+    return engine, report, wall, engine.result_snapshots()
 
 
 def bench_serving_point() -> dict:
@@ -374,7 +375,7 @@ def bench_serving_point() -> dict:
     snapshots = {}
     for label, scheduler, max_batch in (("unbatched", "fifo", 1),
                                         ("batched", "wfq", 8)):
-        report, wall, snaps = _run_serving(scheduler, max_batch)
+        _engine, report, wall, snaps = _run_serving(scheduler, max_batch)
         snapshots[label] = snaps
         out[label] = {
             "scheduler": scheduler,
@@ -409,6 +410,88 @@ def bench_serving_point() -> dict:
     return out
 
 
+def _serving_signature(report) -> dict:
+    """Everything sim-determined about a serving run: per-tenant latency
+    and completion-time streams plus the aggregate span.  Two runs that
+    differ anywhere in event ordering or timing differ here."""
+    return {
+        "span_ns": report.span_ns,
+        "served": report.served,
+        "latencies": [list(t.latencies.samples) for t in report.tenants],
+        "completions": [list(t.completion_times) for t in report.tenants],
+    }
+
+
+def bench_obs_point() -> dict:
+    """Tracing must be free when off and near-complete when on.
+
+    Runs the serving smoke workload twice — ``REPRO_TRACE=0`` and ``=1``
+    — and gates that (a) results and sim timings are byte-identical
+    (tracing is pure observation), and (b) exec-span self time covers
+    >=90% of the traced launches' ``runtime_ns``.  The traced pass also
+    writes ``serving.trace.json`` / ``serving.manifest.json``, the
+    artifacts CI uploads.
+    """
+    prior = obs.enabled()
+    try:
+        obs.set_enabled(False)
+        _e0, report_off, off_wall, snaps_off = _run_serving("wfq", 8)
+        sig_off = _serving_signature(report_off)
+
+        obs.set_enabled(True)
+        engine, report_on, on_wall, snaps_on = _run_serving("wfq", 8)
+        sig_on = _serving_signature(report_on)
+        plat = engine.platform
+        tracer = obs.tracer_of(plat.sim)
+        spans = tracer.finalize()
+        exec_names = {"exec.interpreter", "exec.batched",
+                      "exec.simt", "exec.point"}
+        span_ns: dict[tuple[int, int], float] = {}
+        for span in spans:
+            if span.name in exec_names and span.instance_key is not None:
+                key = span.instance_key
+                span_ns[key] = span_ns.get(key, 0.0) + span.duration_ns
+        covered = total_runtime = 0.0
+        traced = untraced = 0
+        for device in plat.devices:
+            pid = device.trace_pid
+            for iid, inst in device.controller.instances.items():
+                if inst.start_ns is None or inst.complete_ns is None:
+                    continue
+                exec_ns = span_ns.get((pid, iid))
+                if exec_ns is None:
+                    untraced += 1
+                    continue
+                traced += 1
+                covered += min(exec_ns, inst.runtime_ns)
+                total_runtime += inst.runtime_ns
+        coverage = covered / total_runtime if total_runtime else 0.0
+        obs.write_trace(tracer, "serving.trace.json",
+                        counters=engine._util.counter_samples())
+        obs.write_manifest(
+            "serving.manifest.json", tracer=tracer, stats=plat.stats,
+            config=plat.system, seed=plat.runtime.cluster_config.seed,
+            extra={
+                "experiment": "smoke_serving_traced",
+                "served": report_on.served,
+                "span_ns": report_on.span_ns,
+                "utilization": engine._util.summary(),
+            },
+        )
+    finally:
+        obs.set_enabled(prior)
+    return {
+        "off_wall_seconds": off_wall,
+        "on_wall_seconds": on_wall,
+        "overhead_ratio": on_wall / off_wall if off_wall else 0.0,
+        "span_coverage": coverage,
+        "traced_launches": traced,
+        "untraced_launches": untraced,
+        "spans": len(spans),
+        "results_identical": (snaps_off == snaps_on and sig_off == sig_on),
+    }
+
+
 def main(out_path: str = "BENCH_smoke.json") -> dict:
     payload = {
         "python": platform_mod.python_version(),
@@ -419,6 +502,7 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         "cluster_point": bench_cluster_point(),
         "traffic_point": bench_traffic_point(),
         "serving_point": bench_serving_point(),
+        "tracing_point": bench_obs_point(),
     }
     point = payload["fig10a_point"]
     with open(out_path, "w") as fh:
@@ -473,6 +557,14 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"{serving['unbatched']['trace_cache_hit_rate']:.2f} -> "
           f"{serving['batched']['trace_cache_hit_rate']:.2f}, "
           f"results identical: {serving['results_identical']}")
+    tracing = payload["tracing_point"]
+    print(f"  tracing: off {tracing['off_wall_seconds']:.2f}s, "
+          f"on {tracing['on_wall_seconds']:.2f}s "
+          f"({tracing['overhead_ratio']:.2f}x), span coverage "
+          f"{tracing['span_coverage']:.1%} over "
+          f"{tracing['traced_launches']} launches / "
+          f"{tracing['spans']} spans, "
+          f"identical: {tracing['results_identical']}")
     if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
         raise SystemExit("smoke benchmark produced incorrect results")
     if not (fig06["interpreter"]["correct"] and fig06["batched"]["correct"]):
@@ -543,6 +635,15 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         raise SystemExit(
             f"dynamic batching lost its trace-cache hit-rate edge "
             f"(+{serving['hit_rate_gain']:.2f})"
+        )
+    if not tracing["results_identical"]:
+        raise SystemExit(
+            "enabling REPRO_TRACE changed serving results or sim timings"
+        )
+    if tracing["span_coverage"] < 0.9:
+        raise SystemExit(
+            f"exec spans cover only {tracing['span_coverage']:.1%} of "
+            f"traced launch runtime (floor 90%)"
         )
     return payload
 

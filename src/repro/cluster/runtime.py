@@ -48,6 +48,7 @@ from repro.errors import ConfigError, LaunchError, SimulationError
 from repro.exec.base import validate_backend_name
 from repro.host.api import LaunchHandle, M2NDPRuntime
 from repro.isa.assembler import KernelProgram, assemble_kernel
+from repro.obs import tracer as obs_tracer
 from repro.mem.physical import PhysicalMemory
 from repro.ndp.device import M2NDPDevice
 from repro.ndp.kernel import KernelInstance
@@ -174,6 +175,11 @@ class _AggregateStats:
                 merged[key] = merged.get(key, 0.0) + value
         return merged
 
+    def snapshot(self, prefix: str = "") -> dict[str, float]:
+        """Deterministically sorted merged counters (manifest-stable)."""
+        merged = self.counters(prefix)
+        return {key: merged[key] for key in sorted(merged)}
+
 
 class ClusterRuntime:
     """Per-process handle to a multi-expander M2NDP cluster."""
@@ -210,6 +216,9 @@ class ClusterRuntime:
                         physical=self.physical)
             for _ in range(n)
         ]
+        # trace process ids: pid 0 is the host, pid 1+i is device i
+        for i, device in enumerate(self.devices):
+            device.trace_pid = 1 + i
         self.runtimes = [
             M2NDPRuntime(device, asid=base_asid + i)
             for i, device in enumerate(self.devices)
@@ -318,11 +327,14 @@ class ClusterRuntime:
                      args: bytes = b"", sync: bool = False, stride: int = 32,
                      at_ns: float | None = None,
                      on_complete: Callable[[ClusterLaunchHandle], None] | None = None,
+                     trace_parent: int | None = None,
                      ) -> ClusterLaunchHandle:
         """Split one logical launch across the cluster (non-blocking).
 
         ``sync`` is accepted for API parity but sub-launches always use the
         asynchronous M2func form; completion is aggregated host-side.
+        ``trace_parent`` threads the caller's span (e.g. the serving
+        engine's ``serve.launch``) into the launch's trace subtree.
         """
         kids = self._device_kids(kernel_id)
         shard = self.allocator.map_for(pool_base)
@@ -330,6 +342,16 @@ class ClusterRuntime:
         start = at_ns if at_ns is not None else max(self.now, self.sim.now)
         handle = ClusterLaunchHandle(plan=plan, issued_ns=start,
                                      _pending=len(plan))
+        launch_span = None
+        if obs_tracer.ENABLED:
+            tracer = obs_tracer.tracer_of(self.sim)
+            launch_span = tracer.begin(
+                "cluster.launch", start, parent=trace_parent,
+                sub_launches=len(plan),
+            )
+            handle.on_complete(
+                lambda h: tracer.end(launch_span, h.complete_ns,
+                                     error=h.error))
         if on_complete is not None:
             handle.on_complete(on_complete)
         # Sub-launches of *stateful* kernels (initializer/finalizer
@@ -347,48 +369,84 @@ class ClusterRuntime:
                 queues.setdefault(sub.device, []).append(sub)
             for device_queue in queues.values():
                 self._issue_sub(handle, kids, device_queue, 0, args, stride,
-                                start, order)
+                                start, order, launch_span)
         else:
             for sub in plan:
                 self._issue_sub(handle, kids, [sub], 0, args, stride,
-                                start, order)
+                                start, order, launch_span)
         return handle
 
     def _issue_sub(self, handle: ClusterLaunchHandle, kids: list[int],
                    queue: list[SubLaunch], index: int, args: bytes,
-                   stride: int, at_ns: float, order: dict[int, int]) -> None:
+                   stride: int, at_ns: float, order: dict[int, int],
+                   trace_parent: int | None = None) -> None:
         sub = queue[index]
+        tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
+            else None
+        sub_lane = None
+        if tracer is not None:
+            # switch-charge spans live on the sub-launch's device lane so
+            # concurrent subs never overlap within one swim-lane
+            sub_lane = tracer.alloc_tid(1 + sub.device)
         ready = at_ns
         for owner, nbytes in sorted(sub.remote.items()):
             done = self.switch.peer_to_peer(at_ns, owner, sub.device, nbytes)
             ready = max(ready, done)
             self.stats.add("cluster.p2p_prefetch_bytes", nbytes)
+            if tracer is not None:
+                tracer.record("cxl.p2p", at_ns, done, parent=trace_parent,
+                              pid=1 + sub.device, tid=sub_lane,
+                              owner=owner, bytes=nbytes)
         # the M2func fan-out write itself crosses the switch
+        pre_fanout = ready
         ready = self.switch.host_to_device(
             ready, sub.device, LAUNCH_WIRE_BYTES + len(args)
         )
         self.scheduler.note_issued(sub.device)
         self.stats.add("cluster.sub_launches")
+        sub_span = None
+        if tracer is not None:
+            tracer.record("cxl.fanout", pre_fanout, ready,
+                          parent=trace_parent, pid=1 + sub.device,
+                          tid=sub_lane, bytes=LAUNCH_WIRE_BYTES + len(args))
+            sub_span = tracer.begin(
+                "cluster.sub_launch", ready, parent=trace_parent,
+                pid=1 + sub.device, tid=sub_lane,
+                base=sub.base, bound=sub.bound)
         sub_handle = self.runtimes[sub.device].launch_async(
             kids[sub.device], sub.base, sub.bound, args=args,
             sync=False, stride=stride, at_ns=ready,
             offset_bias=sub.offset_bias,
             on_complete=self._make_sub_done(handle, kids, queue, index, args,
-                                            stride, order),
+                                            stride, order, trace_parent,
+                                            sub_span),
         )
         sub_handle.call.on_done(self._make_error_check(handle, sub))
+        if tracer is not None:
+            # the M2func read resolves the device-side instance id after
+            # the backend may already have recorded its exec span; adopt
+            # those spans under this sub-launch once the id is known
+            def link(call, _pid=1 + sub.device, _span=sub_span,
+                     _lane=sub_lane, _tracer=tracer):
+                if call.value is not None and call.value >= 0:
+                    _tracer.link_instance(_pid, call.value, _span, _lane)
+            sub_handle.call.on_done(link)
         handle.subs[order[id(sub)]] = sub_handle
 
     def _make_sub_done(self, handle: ClusterLaunchHandle, kids: list[int],
                        queue: list[SubLaunch], index: int, args: bytes,
-                       stride: int, order: dict[int, int]):
+                       stride: int, order: dict[int, int],
+                       trace_parent: int | None = None,
+                       sub_span: int | None = None):
         def sub_done(sub_handle: LaunchHandle) -> None:
             sub = queue[index]
             self.scheduler.note_complete(sub.device)
             when = sub_handle.complete_ns or self.sim.now
+            if sub_span is not None and obs_tracer.ENABLED:
+                obs_tracer.tracer_of(self.sim).end(sub_span, when)
             if index + 1 < len(queue):
                 self._issue_sub(handle, kids, queue, index + 1, args,
-                                stride, when, order)
+                                stride, when, order, trace_parent)
             handle._sub_finished(when)
         return sub_done
 

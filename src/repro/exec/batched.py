@@ -90,6 +90,7 @@ from repro.ndp.generator import (
     SPAWN_LATENCY_NS,
     KernelExecution,
 )
+from repro.obs import tracer as obs_tracer
 from repro.ndp.tlb import PAGE_SHIFT
 from repro.ndp.unit import CROSSBAR_NS
 
@@ -753,6 +754,11 @@ class BatchedBackend(InterpreterBackend):
 
         device.stats.add("exec.batched_fallbacks")
         device.stats.add(f"exec.fallback_reason.{failure.slug}")
+        if obs_tracer.ENABLED:
+            obs_tracer.tracer_of(device.sim).instant(
+                "exec.fallback", max(now_ns, device.sim.now),
+                pid=device.trace_pid, reason=failure.slug,
+                instance=execution.instance.instance_id)
         super().register_execution(execution, now_ns)
 
     # ------------------------------------------------------------------
@@ -764,11 +770,13 @@ class BatchedBackend(InterpreterBackend):
         device = self.device
         cache = self.trace_cache
         plan = None
+        cached = False
         if entry is not None:
             try:
                 plan = _BatchReplay(device, execution, entry=entry).run()
                 device.stats.add("exec.trace_cache_hits")
                 device.stats.add("exec.trace_cache_hits_batched")
+                cached = True
             except (StaleTrace, LaunchFallback, UnsupportedVectorOp):
                 # behaviour diverged from the recorded trace (data-
                 # dependent control flow or addressing): retrace
@@ -790,7 +798,7 @@ class BatchedBackend(InterpreterBackend):
         # (e.g. from a fallback launch) must not re-execute this launch.
         execution.consume_plan()
         self._active.append(execution)
-        self._schedule_completion(execution, plan.n, entry, now_ns)
+        self._schedule_completion(execution, plan.n, entry, now_ns, cached)
         return None
 
     def _attempt_simt(self, execution: KernelExecution, key,
@@ -803,11 +811,13 @@ class BatchedBackend(InterpreterBackend):
         if not isinstance(entry, SimtTraceEntry):
             entry = None
         plan = None
+        cached = False
         if entry is not None:
             try:
                 plan = SimtPlan(device, execution, entry=entry).run()
                 device.stats.add("exec.trace_cache_hits")
                 device.stats.add("exec.trace_cache_hits_simt")
+                cached = True
             except (StaleTrace, LaunchFallback):
                 # mask schedule or addressing diverged: retrace from scratch
                 cache.invalidate(key)
@@ -827,6 +837,7 @@ class BatchedBackend(InterpreterBackend):
         device.stats.add("exec.simt_launches")
         execution.consume_plan()
         self._active.append(execution)
+        plan.cache_hit = cached
         plan.schedule(now_ns)
         return None
 
@@ -869,7 +880,8 @@ class BatchedBackend(InterpreterBackend):
     # ------------------------------------------------------------------
 
     def _schedule_completion(self, execution: KernelExecution, n: int,
-                             entry: TraceEntry, now_ns: float) -> None:
+                             entry: TraceEntry, now_ns: float,
+                             cached: bool = False) -> None:
         device = self.device
         cfg = device.config.ndp
         stats = device.stats
@@ -937,6 +949,7 @@ class BatchedBackend(InterpreterBackend):
         # --- memory-system bound: sector stream through the real L2/DRAM -
         completion = start + window
         merged = entry.merged_addrs.size
+        mem_done = None
         if merged:
             # Every participating unit takes one on-chip TLB fill per page
             # it touches; the pre-warmed DRAM-TLB serves them without DRAM
@@ -944,9 +957,10 @@ class BatchedBackend(InterpreterBackend):
             stats.add("ndp.tlb_fill", entry.page_count * min(cfg.num_units, n))
             dt = window / merged
             arrivals = start + dt * np.arange(merged)
-            completion = max(completion, device.l2_dram_access_batch(
+            mem_done = device.l2_dram_access_batch(
                 entry.merged_addrs, arrivals, entry.merged_writes
-            ))
+            )
+            completion = max(completion, mem_done)
 
         # --- bookkeeping + completion event ------------------------------
         instance = execution.instance
@@ -956,6 +970,16 @@ class BatchedBackend(InterpreterBackend):
         ratio = min(per_unit, slots_per_unit) / slots_per_unit
         for unit in device.units:
             unit.occupancy.sampler.record(start, ratio)
+
+        if obs_tracer.ENABLED:
+            tracer = obs_tracer.tracer_of(device.sim)
+            span = tracer.record(
+                "exec.batched", start, completion, pid=device.trace_pid,
+                instance=instance.instance_id, uthreads=n,
+                trace_cache="hit" if cached else "miss")
+            if mem_done is not None:
+                tracer.record("mem.charge", start, mem_done, parent=span,
+                              pid=device.trace_pid, sectors=merged)
 
         def finish() -> None:
             now = device.sim.now

@@ -20,6 +20,7 @@ from repro.exec.base import ExecutionBackend, register_backend
 from repro.isa.executor import execute
 from repro.ndp.generator import SPAWN_LATENCY_NS, KernelExecution
 from repro.ndp.uthread import UThread
+from repro.obs import tracer as obs_tracer
 
 #: Instructions a thread may execute before yielding the event loop.
 BURST_CAP = 256
@@ -48,6 +49,22 @@ class InterpreterBackend(ExecutionBackend):
 
     def register_execution(self, execution: KernelExecution,
                            now_ns: float) -> None:
+        if obs_tracer.ENABLED:
+            tracer = obs_tracer.tracer_of(self.device.sim)
+            span = tracer.begin(
+                "exec.interpreter", max(now_ns, self.device.sim.now),
+                pid=self.device.trace_pid,
+                instance=execution.instance.instance_id,
+                uthreads=execution.instance.uthreads_total)
+            prev = execution.on_complete
+
+            def traced_done(ex, when, _prev=prev, _span=span,
+                            _tracer=tracer):
+                _tracer.end(_span, when)
+                if _prev is not None:
+                    _prev(ex, when)
+
+            execution.on_complete = traced_done
         self._active.append(execution)
         self.fill_all_units(max(now_ns, self.device.sim.now))
 

@@ -88,6 +88,7 @@ from repro.errors import TranslationFault
 from repro.mem.scratchpad import _apply_amo
 from repro.ndp.generator import SPAWN_LATENCY_NS
 from repro.exec.trace_cache import PointPathEntry, StaleTrace, point_key
+from repro.obs import tracer as obs_tracer
 
 _MASK64 = (1 << 64) - 1
 _F32 = struct.Struct("<f")
@@ -1101,6 +1102,12 @@ def attempt_point(backend, execution, now_ns: float) -> None:
 
     completion = max(lane_done) if lane_done else t0
     instance.lane_complete_ns = list(lane_done)
+    if obs_tracer.ENABLED:
+        obs_tracer.tracer_of(device.sim).record(
+            "exec.point", t0, completion, pid=device.trace_pid,
+            instance=instance.instance_id, lanes=n,
+            cache_hits=hits, cache_misses=misses,
+            generalized_hits=gen_hits)
 
     def finish() -> None:
         now = device.sim.now

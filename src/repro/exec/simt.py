@@ -67,6 +67,7 @@ from repro.ndp.generator import (
 from repro.ndp.tlb import PAGE_SHIFT
 from repro.ndp.unit import ATOMIC_OP_NS, CROSSBAR_NS
 from repro.ndp.uthread import Phase
+from repro.obs import tracer as obs_tracer
 
 #: Safety cap on the dynamic trace length of one launch walk.
 MAX_TRACE_STEPS = 200_000
@@ -1673,6 +1674,16 @@ class SimtPlan:
         t = max(now_ns, device.sim.now)
         total_instructions = 0
         total_lanes = 0
+        tracer = None
+        launch_span = None
+        if obs_tracer.ENABLED:
+            tracer = obs_tracer.tracer_of(device.sim)
+            launch_span = tracer.begin(
+                "exec.simt", t + SPAWN_LATENCY_NS, pid=device.trace_pid,
+                instance=execution.instance.instance_id,
+                phases=len(self.profiles),
+                trace_cache="hit" if getattr(self, "cache_hit", False)
+                else "miss")
 
         for profile in self.profiles:
             start = t + SPAWN_LATENCY_NS
@@ -1727,12 +1738,23 @@ class SimtPlan:
             # --- memory-system bound: sector stream through L2/DRAM ------
             completion = start + window
             merged = profile.merged_addrs.size
+            mem_done = None
             if merged:
                 dt = window / merged
                 arrivals = start + dt * np.arange(merged)
-                completion = max(completion, device.l2_dram_access_batch(
+                mem_done = device.l2_dram_access_batch(
                     profile.merged_addrs, arrivals, profile.merged_writes
-                ))
+                )
+                completion = max(completion, mem_done)
+
+            if tracer is not None:
+                phase_span = tracer.record(
+                    "exec.simt.phase", start, completion,
+                    parent=launch_span, pid=device.trace_pid, lanes=n)
+                if mem_done is not None:
+                    tracer.record("mem.charge", start, mem_done,
+                                  parent=phase_span, pid=device.trace_pid,
+                                  sectors=merged)
 
             ratio = min(int(profile.unit_of_lane.size and np.bincount(
                 profile.unit_of_lane, minlength=num_units).max()),
@@ -1741,6 +1763,8 @@ class SimtPlan:
                 unit.occupancy.sampler.record(start, ratio)
             t = completion
 
+        if tracer is not None:
+            tracer.end(launch_span, t)
         stats.add("ndp.instructions", total_instructions)
         stats.add("ndp.uthreads_spawned", total_lanes)
         stats.add("ndp.uthreads_finished", total_lanes)

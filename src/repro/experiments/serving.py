@@ -17,8 +17,10 @@ and the trace-cache hit rate at a small p50 cost for the batched tenant.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.cluster import make_cluster_platform
 from repro.experiments.common import EXPERIMENT_BACKEND, ExperimentResult
+from repro.obs.report import build_report, parse_events, render
 from repro.serve import (
     ArrivalSpec,
     AutoscalePolicy,
@@ -146,7 +148,73 @@ def run_serving_autoscale(requests: int = 96,
     return result
 
 
-if __name__ == "__main__":
-    print(run_serving().render())
+def run_serving_traced(prefix: str = "serving",
+                       requests: int = 48,
+                       num_devices: int = 2,
+                       backend: str = EXPERIMENT_BACKEND) -> tuple[str, str]:
+    """One traced wfq+batching serving run; exports trace + manifest.
+
+    Enables tracing for the duration of the run, writes
+    ``<prefix>.trace.json`` (Chrome trace-event / Perfetto) and
+    ``<prefix>.manifest.json`` next to the working directory's BENCH
+    files, prints the bottleneck report, and returns both paths.
+    """
+    was_enabled = obs.enabled()
+    obs.set_enabled(True)
+    try:
+        platform = make_cluster_platform(num_devices=num_devices,
+                                         backend=backend)
+        engine = ServingEngine(
+            platform, default_tenants(requests), scheduler="wfq",
+            batch=BatchPolicy(max_batch=8, max_wait_ns=2_000.0),
+        )
+        report = engine.run()
+        tracer = obs.tracer_of(platform.sim)
+        trace_path = f"{prefix}.trace.json"
+        manifest_path = f"{prefix}.manifest.json"
+        obs.write_trace(tracer, trace_path,
+                        counters=engine._util.counter_samples())
+        obs.write_manifest(
+            manifest_path, tracer=tracer, stats=platform.stats,
+            config=platform.system,
+            seed=platform.runtime.cluster_config.seed,
+            extra={
+                "experiment": "serving_traced",
+                "num_devices": num_devices,
+                "backend": backend,
+                "served": report.served,
+                "span_ns": report.span_ns,
+                "utilization": engine._util.summary(),
+            },
+        )
+    finally:
+        obs.set_enabled(was_enabled)
+    print(report.render())
     print()
-    print(run_serving_autoscale().render())
+    with open(trace_path) as fh:
+        import json
+        events = json.load(fh)["traceEvents"]
+    print(render(build_report(parse_events(events))))
+    print()
+    print(f"trace written to {trace_path} (load in https://ui.perfetto.dev)")
+    print(f"manifest written to {manifest_path}")
+    return trace_path, manifest_path
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Serving experiment sweeps (add --trace for a traced "
+                    "run exporting Perfetto trace + run manifest)")
+    parser.add_argument(
+        "--trace", nargs="?", const="serving", default=None, metavar="PREFIX",
+        help="run one traced serving pass and write <PREFIX>.trace.json "
+             "and <PREFIX>.manifest.json (default prefix: serving)")
+    cli = parser.parse_args()
+    if cli.trace is not None:
+        run_serving_traced(cli.trace)
+    else:
+        print(run_serving().render())
+        print()
+        print(run_serving_autoscale().render())

@@ -78,6 +78,9 @@ class M2NDPDevice:
         #: translation; the execution trace cache keys validity on it
         self.translation_version = 0
         self.code_registry: dict[int, KernelProgram] = {}
+        #: Chrome-trace process id; single-device platforms default to 1
+        #: (pid 0 is the host), ClusterRuntime renumbers to 1 + index.
+        self.trace_pid = 1
         self.controller = NDPController(self, queue_capacity=queue_capacity)
         self.units = [
             NDPUnit(i, self.config.ndp, self, self.stats, spawn_granularity)

@@ -1,0 +1,198 @@
+"""Bottleneck-attribution report over an exported trace.
+
+``python -m repro.obs.report <trace.json> [--top K]`` reads a Chrome
+trace-event file (from :func:`repro.obs.export.write_trace`), rebuilds
+the span forest from its matched B/E pairs, and prints:
+
+* **self-time by stage** — per span name: count, total, self time (total
+  minus children) and each stage's share of the root spans' critical
+  path, answering "where did the nanoseconds actually go";
+* **per-tenant breakdown** — root ``serve.request`` spans grouped by
+  their ``tenant`` arg with count / mean / max wall;
+* **top-K slowest requests** — the worst request roots with their
+  per-stage chains, the breakdown you'd otherwise chase with prints.
+
+The module is import-safe for tests: :func:`parse_events` /
+:func:`build_report` return plain data, ``main`` only formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReportSpan:
+    """A span reassembled from its B/E pair."""
+
+    name: str
+    pid: int
+    tid: int
+    start_us: float
+    end_us: float
+    args: dict = field(default_factory=dict)
+    children: list["ReportSpan"] = field(default_factory=list)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def self_us(self) -> float:
+        overlap = sum(c.duration_us for c in self.children)
+        return max(self.duration_us - overlap, 0.0)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def parse_events(events: list[dict]) -> list[ReportSpan]:
+    """Rebuild the span forest from B/E (and instant ``i``) events.
+
+    Raises ``ValueError`` on unmatched pairs — the exporter guarantees
+    stack discipline per (pid, tid), so a mismatch means a broken file.
+    """
+    stacks: dict[tuple[int, int], list[ReportSpan]] = {}
+    roots: list[ReportSpan] = []
+
+    def attach(lane, span):
+        stack = stacks.setdefault(lane, [])
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            roots.append(span)
+
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("B", "E", "i", "I"):
+            continue
+        lane = (event.get("pid", 0), event.get("tid", 0))
+        if phase == "B":
+            span = ReportSpan(event["name"], lane[0], lane[1],
+                              event["ts"], event["ts"],
+                              dict(event.get("args") or {}))
+            attach(lane, span)
+            stacks.setdefault(lane, []).append(span)
+        elif phase == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                raise ValueError(
+                    f"E event with empty stack on pid/tid {lane}")
+            span = stack.pop()
+            span.end_us = event["ts"]
+        else:
+            attach(lane, ReportSpan(event["name"], lane[0], lane[1],
+                                    event["ts"], event["ts"],
+                                    dict(event.get("args") or {})))
+    leftovers = {lane: [s.name for s in stack]
+                 for lane, stack in stacks.items() if stack}
+    if leftovers:
+        raise ValueError(f"unclosed B events: {leftovers}")
+    return roots
+
+
+def build_report(roots: list[ReportSpan], top: int = 5) -> dict:
+    """Aggregate the forest into the three report tables."""
+    stages: dict[str, dict[str, float]] = {}
+    for root in roots:
+        for span in root.walk():
+            agg = stages.setdefault(
+                span.name, {"count": 0, "total_us": 0.0, "self_us": 0.0})
+            agg["count"] += 1
+            agg["total_us"] += span.duration_us
+            agg["self_us"] += span.self_us
+    critical_us = sum(r.duration_us for r in roots)
+
+    tenants: dict[str, dict[str, float]] = {}
+    requests = [r for r in roots if r.name == "serve.request"]
+    for root in requests:
+        tenant = str(root.args.get("tenant", "?"))
+        agg = tenants.setdefault(
+            tenant, {"count": 0, "total_us": 0.0, "max_us": 0.0})
+        agg["count"] += 1
+        agg["total_us"] += root.duration_us
+        agg["max_us"] = max(agg["max_us"], root.duration_us)
+
+    slowest = sorted(requests, key=lambda r: -r.duration_us)[:top]
+    return {
+        "stages": {name: stages[name] for name in sorted(stages)},
+        "critical_us": critical_us,
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+        "slowest": slowest,
+    }
+
+
+def render(report: dict) -> str:
+    lines = ["self-time by stage:"]
+    lines.append(f"  {'stage':<24} {'count':>6} {'total us':>12} "
+                 f"{'self us':>12} {'crit %':>7}")
+    critical = report["critical_us"] or 1.0
+    for name, agg in sorted(report["stages"].items(),
+                            key=lambda kv: -kv[1]["self_us"]):
+        lines.append(
+            f"  {name:<24} {agg['count']:>6.0f} {agg['total_us']:>12.3f} "
+            f"{agg['self_us']:>12.3f} {100 * agg['self_us'] / critical:>6.1f}%"
+        )
+    if report["tenants"]:
+        lines.append("")
+        lines.append("per-tenant requests:")
+        lines.append(f"  {'tenant':<12} {'count':>6} {'mean us':>10} "
+                     f"{'max us':>10}")
+        for name, agg in report["tenants"].items():
+            mean = agg["total_us"] / agg["count"] if agg["count"] else 0.0
+            lines.append(f"  {name:<12} {agg['count']:>6.0f} {mean:>10.3f} "
+                         f"{agg['max_us']:>10.3f}")
+    if report["slowest"]:
+        lines.append("")
+        lines.append(f"top {len(report['slowest'])} slowest requests:")
+        for root in report["slowest"]:
+            tenant = root.args.get("tenant", "?")
+            index = root.args.get("index", "?")
+            lines.append(f"  {tenant}#{index}: {root.duration_us:.3f} us")
+            for span in root.walk():
+                if span is root:
+                    continue
+                depth = _depth_of(root, span)
+                lines.append(f"    {'  ' * depth}{span.name}: "
+                             f"{span.duration_us:.3f} us "
+                             f"(self {span.self_us:.3f})")
+    return "\n".join(lines)
+
+
+def _depth_of(root: ReportSpan, target: ReportSpan, depth: int = 0) -> int:
+    for child in root.children:
+        if child is target:
+            return depth
+        found = _depth_of(child, target, depth + 1)
+        if found >= 0:
+            return found
+    return -1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-stage / per-tenant bottleneck breakdown of a "
+                    "trace produced by REPRO_TRACE=1 or --trace.",
+    )
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slowest requests to expand (default 5)")
+    args = parser.parse_args(argv)
+    with open(args.trace) as fh:
+        payload = json.load(fh)
+    events = payload["traceEvents"] if isinstance(payload, dict) else payload
+    roots = parse_events(events)
+    try:
+        print(render(build_report(roots, top=args.top)))
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,8 @@ from typing import Callable
 
 from repro.cluster.runtime import ClusterPlatform
 from repro.errors import ConfigError
+from repro.obs import tracer as obs_tracer
+from repro.obs.timeline import UtilizationSampler
 from repro.serve.admission import ADMIT, AdmissionController
 from repro.serve.arrivals import make_arrival_process, stream_rng
 from repro.serve.autoscaler import AutoscalePolicy, Autoscaler
@@ -183,6 +185,7 @@ class ServingEngine:
         self._tick_scheduled = False
         self._flush_at: dict[str, float] = {}
         self._ran = False
+        self._util: UtilizationSampler | None = None
         # the platform's counters are cumulative; report this run's delta
         self._cache_base = (
             self.platform.stats.get("exec.trace_cache_hits"),
@@ -214,6 +217,9 @@ class ServingEngine:
         epoch = self.sim.now
         self._last_busy_ns = epoch
         self._last_tick_ns = epoch
+        if obs_tracer.ENABLED:
+            self._util = UtilizationSampler(self.platform.devices,
+                                            start_ns=epoch)
         self.stats.start(epoch)
         for state in self.tenants.values():
             for when in state.process.initial(epoch):
@@ -231,9 +237,21 @@ class ServingEngine:
         index = state.issued
         state.issued += 1
         self.stats.offered(spec.name, now)
+        tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
+            else None
+        root = None
+        if tracer is not None:
+            root = tracer.begin(
+                "serve.request", now, tid=tracer.alloc_tid(0),
+                tenant=spec.name, index=index, qos=spec.qos_class)
         verdict = self.admission.admit(spec.name, now,
                                        self.queue.depth(spec.name))
+        if tracer is not None:
+            tracer.instant("serve.admission", now, parent=root,
+                           verdict=verdict)
         if verdict != ADMIT:
+            if tracer is not None:
+                tracer.end(root, now, outcome=verdict)
             self.stats.shed(spec.name, verdict)
             self._feedback(state, now)
             return
@@ -245,6 +263,10 @@ class ServingEngine:
             qos_class=spec.qos_class, deadline_ns=deadline,
             slice_lo=slice_lo, slice_hi=slice_hi,
         )
+        if tracer is not None:
+            request.trace_root = root
+            request.trace_queue = tracer.begin("serve.queue", now,
+                                               parent=root)
         self._seq += 1
         self.queue.push(request)
         self._ensure_tick()
@@ -268,6 +290,13 @@ class ServingEngine:
                 scatter=state.workload.scatter_batchable,
             )
             if flush_at is not None:
+                if obs_tracer.ENABLED:
+                    head = self.queue.peek(tenant)
+                    if (head.trace_hold is None
+                            and head.trace_queue is not None):
+                        head.trace_hold = obs_tracer.tracer_of(
+                            self.sim).begin("serve.batch_wait", now,
+                                            parent=head.trace_queue)
                 self._schedule_flush(tenant, flush_at)
                 continue
             heads[tenant] = self.queue.peek(tenant)
@@ -280,7 +309,12 @@ class ServingEngine:
         tenant = state.spec.name
         while (self.queue.depth(tenant)
                and self.queue.peek(tenant).deadline_ns < now):
-            self.queue.pop(tenant)
+            request = self.queue.pop(tenant)
+            if obs_tracer.ENABLED and request.trace_root is not None:
+                tracer = obs_tracer.tracer_of(self.sim)
+                tracer.end(request.trace_hold, now)
+                tracer.end(request.trace_queue, now)
+                tracer.end(request.trace_root, now, outcome="expired")
             self.stats.expired(tenant)
             self._feedback(state, now)
 
@@ -300,10 +334,26 @@ class ServingEngine:
             self.stats.launched(tenant, batch.size)
             self._charge_busy(now)
             self._inflight += 1
+            launch_span = None
+            if obs_tracer.ENABLED:
+                tracer = obs_tracer.tracer_of(self.sim)
+                for request in batch.requests:
+                    tracer.end(request.trace_hold, now)
+                    tracer.end(request.trace_queue, now)
+                    request.trace_inflight = tracer.begin(
+                        "serve.inflight", now, parent=request.trace_root)
+                # the launch subtree hangs off the batch head's request
+                # on its own swim-lane (it can outlive the head's root)
+                launch_span = tracer.begin(
+                    "serve.launch", now, tid=tracer.alloc_tid(0),
+                    parent=batch.requests[0].trace_root,
+                    tenant=tenant, batch=batch.size)
             self.runtime.launch_async(
                 plan.kernel_id, plan.base, plan.bound, args=plan.args,
                 stride=plan.stride, at_ns=now + HOST_DISPATCH_NS,
-                on_complete=self._make_done(state, batch.requests, plan),
+                on_complete=self._make_done(state, batch.requests, plan,
+                                            launch_span),
+                trace_parent=launch_span,
             )
 
     def _lane_completions(self, handle, plan, count: int) -> list[float] | None:
@@ -330,21 +380,33 @@ class ServingEngine:
         return times
 
     def _make_done(self, state: _TenantState, requests: list[Request],
-                   plan) -> Callable:
+                   plan, launch_span: int | None = None) -> Callable:
         def done(handle) -> None:
             when = handle.complete_ns if handle.complete_ns is not None \
                 else self.sim.now
             self._charge_busy(when)
             self._inflight -= 1
+            tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
+                else None
+            if tracer is not None:
+                tracer.end(launch_span, when)
             lane_times = (self._lane_completions(handle, plan, len(requests))
                           if plan.scatter else None)
+            latencies: list[float] = []
+            completions: list[float] = []
+            within_slo: list[bool] = []
             for i, request in enumerate(requests):
                 done_ns = lane_times[i] if lane_times is not None else when
                 request.complete_ns = done_ns
-                self.stats.served(
-                    state.spec.name, done_ns - request.arrival_ns, done_ns,
-                    within_slo=done_ns <= request.deadline_ns,
-                )
+                latencies.append(done_ns - request.arrival_ns)
+                completions.append(done_ns)
+                within_slo.append(done_ns <= request.deadline_ns)
+                if tracer is not None:
+                    tracer.end(request.trace_inflight, done_ns)
+                    tracer.end(request.trace_root, done_ns, outcome="served")
+            self.stats.served_batch(state.spec.name, latencies, completions,
+                                    within_slo)
+            for done_ns in completions:
                 self._feedback(state, done_ns)
             self._pump()
         return done
@@ -393,6 +455,8 @@ class ServingEngine:
         self._busy_integral = 0.0
         self.autoscaler.observe(now, min(utilization, 1.0))
         self.stats.mark_window(now)
+        if self._util is not None:
+            self._util.mark(now)
         self._tick_scheduled = False
         if self.queue.total or self._inflight or any(
                 s.more_arrivals for s in self.tenants.values()):
@@ -410,6 +474,8 @@ class ServingEngine:
                 "serving run drained with work still queued or in flight"
             )
         self.stats.mark_window(now)
+        if self._util is not None:
+            self._util.mark(now)
         cluster_stats = self.platform.stats
         reports = []
         for state in self.tenants.values():

@@ -74,6 +74,13 @@ class Request:
     slice_lo: int
     slice_hi: int
     complete_ns: float | None = None
+    #: Trace span ids (``repro.obs``), populated only while tracing is
+    #: enabled.  Safe to carry here: queue heaps key on ``sort_key``
+    #: whose ``seq`` component is unique, so Requests never compare.
+    trace_root: int | None = None
+    trace_queue: int | None = None
+    trace_hold: int | None = None
+    trace_inflight: int | None = None
 
     @property
     def class_rank(self) -> int:

@@ -8,6 +8,7 @@ coherent snapshot after a run.
 
 from __future__ import annotations
 
+import json
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -66,6 +67,18 @@ class Distribution:
     def add(self, value: float) -> None:
         self.samples.append(value)
         self._ordered = None
+
+    def add_many(self, values) -> None:
+        """Bulk ingestion of an array/iterable of samples.
+
+        One ``extend`` instead of a Python ``add()`` loop (the serving
+        engine lands a whole scatter batch's latencies at once); the
+        percentile sort cache is invalidated exactly as :meth:`add` does.
+        """
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size:
+            self.samples.extend(arr.tolist())
+            self._ordered = None
 
     @property
     def count(self) -> int:
@@ -155,6 +168,13 @@ class StatsRegistry:
             dist = self._distributions[name] = Distribution()
         dist.add(value)
 
+    def observe_many(self, name: str, values) -> None:
+        """Bulk form of :meth:`observe` (one :meth:`Distribution.add_many`)."""
+        dist = self._distributions.get(name)
+        if dist is None:
+            dist = self._distributions[name] = Distribution()
+        dist.add_many(values)
+
     def distribution(self, name: str) -> Distribution:
         if name not in self._distributions:
             raise KeyError(f"no distribution named {name!r}")
@@ -163,6 +183,22 @@ class StatsRegistry:
     def counters(self, prefix: str = "") -> dict[str, float]:
         """Snapshot of all counters whose name starts with ``prefix``."""
         return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def snapshot(self, prefix: str = "") -> dict[str, float]:
+        """Counter snapshot with **deterministically sorted** keys.
+
+        Counter insertion order depends on execution interleaving, so raw
+        :meth:`counters` dicts differ between otherwise identical runs;
+        benchmark JSON and run manifests serialize this view instead so
+        they diff stably.
+        """
+        return {key: self._counters[key] for key in sorted(self._counters)
+                if key.startswith(prefix)}
+
+    def to_json(self, prefix: str = "", indent: int = 2) -> str:
+        """The sorted snapshot as a stable JSON document."""
+        return json.dumps(self.snapshot(prefix), indent=indent,
+                          sort_keys=True)
 
     def clear_prefix(self, prefix: str) -> None:
         """Drop counters and distributions under ``prefix`` only.

@@ -88,6 +88,51 @@ class TestDistribution:
             Distribution().mean
 
 
+class TestDistributionAddMany:
+    def test_matches_add_loop(self):
+        import numpy as np
+        loop, bulk = Distribution(), Distribution()
+        values = [3.0, 1.0, 2.0, 5.0]
+        for v in values:
+            loop.add(v)
+        bulk.add_many(np.asarray(values))
+        assert bulk.samples == loop.samples
+        assert bulk.count == 4
+
+    def test_accepts_iterables_and_2d_arrays(self):
+        import numpy as np
+        dist = Distribution()
+        dist.add_many([1.0, 2.0])
+        dist.add_many(np.arange(4, dtype=np.float64).reshape(2, 2))
+        assert dist.samples == [1.0, 2.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_empty_is_noop(self):
+        dist = Distribution()
+        dist.add(1.0)
+        _ = dist.percentile(50.0)  # warm the sort cache
+        dist.add_many([])
+        assert dist.count == 1
+
+    def test_invalidates_percentile_cache(self):
+        dist = Distribution()
+        dist.add_many([1.0, 2.0, 3.0])
+        assert dist.percentile(100.0) == 3.0
+        dist.add_many([10.0])
+        assert dist.percentile(100.0) == 10.0
+        # and the interleaved form: cached sort, then bulk append
+        assert dist.percentile(50.0) == 2.5
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9),
+                    min_size=1, max_size=50))
+    def test_percentiles_identical_to_streaming(self, values):
+        loop, bulk = Distribution(), Distribution()
+        for v in values:
+            loop.add(v)
+        bulk.add_many(values)
+        for pct in (0.0, 50.0, 95.0, 100.0):
+            assert bulk.percentile(pct) == loop.percentile(pct)
+
+
 class TestStatsRegistry:
     def test_add_and_get(self):
         stats = StatsRegistry()
@@ -120,6 +165,42 @@ class TestStatsRegistry:
         stats.add("x")
         stats.reset()
         assert stats.get("x") == 0.0
+
+    def test_snapshot_sorted_regardless_of_insertion(self):
+        stats = StatsRegistry()
+        for key in ("z.bytes", "a.hits", "m.misses"):
+            stats.add(key, 1.0)
+        snap = stats.snapshot()
+        assert list(snap) == ["a.hits", "m.misses", "z.bytes"]
+
+    def test_snapshot_prefix_filter(self):
+        stats = StatsRegistry()
+        stats.add("dram.reads", 2.0)
+        stats.add("cxl.bytes", 9.0)
+        assert stats.snapshot("dram.") == {"dram.reads": 2.0}
+
+    def test_to_json_stable_across_insertion_orders(self):
+        import json
+        forward, backward = StatsRegistry(), StatsRegistry()
+        keys = ["b.two", "a.one", "c.three"]
+        for key in keys:
+            forward.add(key, 1.0)
+        for key in reversed(keys):
+            backward.add(key, 1.0)
+        assert forward.to_json() == backward.to_json()
+        assert json.loads(forward.to_json()) == {
+            "a.one": 1.0, "b.two": 1.0, "c.three": 1.0}
+
+    def test_observe_many_matches_observe_loop(self):
+        loop, bulk = StatsRegistry(), StatsRegistry()
+        values = [4.0, 2.0, 8.0]
+        for v in values:
+            loop.observe("lat", v)
+        bulk.observe_many("lat", values)
+        assert (bulk.distribution("lat").samples
+                == loop.distribution("lat").samples)
+        bulk.observe_many("lat", [1.0])
+        assert bulk.distribution("lat").count == 4
 
 
 class TestIntervalSampler:
