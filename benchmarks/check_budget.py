@@ -46,6 +46,7 @@ TRACKED_FIELDS = (
     "traffic_point.wall_seconds",
     "serving_point.unbatched.wall_seconds",
     "serving_point.batched.wall_seconds",
+    "resilience_point.wall_seconds",
 )
 
 #: Dotted paths that must be exactly zero in the fresh run: interpreter

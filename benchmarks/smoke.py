@@ -44,7 +44,14 @@ from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
 from repro.host.api import pack_args
 from repro.kernels.vecadd import VECADD
-from repro.serve import ArrivalSpec, BatchPolicy, ServingEngine, TenantSpec
+from repro.faults import FaultEvent, FaultPlan
+from repro.serve import (
+    ArrivalSpec,
+    BatchPolicy,
+    RetryPolicy,
+    ServingEngine,
+    TenantSpec,
+)
 from repro.workloads import histogram, olap
 from repro.workloads.base import make_platform, scale
 
@@ -410,6 +417,74 @@ def bench_serving_point() -> dict:
     return out
 
 
+RESILIENCE_SMOKE_REQUESTS = 16
+
+
+def _run_resilience(retries: int, plan) -> tuple:
+    platform = make_cluster_platform(num_devices=4, backend="batched")
+    if plan is not None:
+        platform.runtime.arm_faults(plan)
+    spec = TenantSpec(
+        "scan", "olap",
+        arrivals=ArrivalSpec("poisson", rate_rps=2e6,
+                             requests=RESILIENCE_SMOKE_REQUESTS),
+        qos_class="interactive", slo_ns=5_000_000.0, size=1 << 17,
+        slices=4, placement="replicated",
+        retry=RetryPolicy(max_retries=retries, backoff_ns=500.0,
+                          jitter_ns=200.0),
+    )
+    engine = ServingEngine(platform, [spec])
+    start = time.perf_counter()
+    report = engine.run()
+    wall = time.perf_counter() - start
+    return platform, engine, report, wall
+
+
+def bench_resilience_point() -> dict:
+    """Kill 1 of 4 devices mid-traffic; recovery must hold the SLO floor.
+
+    Three runs on the same seed: no-retry under the kill (the chaos
+    baseline), deadline-aware retries under the kill (must recover every
+    stranded request), and a zero-fault plan (must be byte-identical to
+    running with no fault injector armed at all).
+    """
+    kill = FaultPlan(events=(
+        FaultEvent("device_fail", at_ns=3_000.0, device=1),
+    ))
+    out: dict = {"requests": RESILIENCE_SMOKE_REQUESTS}
+    wall_total = 0.0
+    for label, retries, plan in (("no_retry", 0, kill),
+                                 ("retry", 3, kill)):
+        platform, _, report, wall = _run_resilience(retries, plan)
+        wall_total += wall
+        tenant = report.tenant("scan")
+        out[label] = {
+            "wall_seconds": wall,
+            "offered": tenant.offered,
+            "served": tenant.served,
+            "failed": tenant.failed,
+            "retried": tenant.retried,
+            "slo_attainment": tenant.slo_attainment,
+            "accounting_ok": tenant.accounting_ok,
+            "correct": tenant.correct,
+            "device_kills": platform.stats.get("fault.device_kills"),
+            "lost_completions": platform.stats.get(
+                "fault.lost_completions"),
+            "failovers": platform.stats.get("recovery.failovers"),
+        }
+    identity = {}
+    for label, plan in (("zero_fault", FaultPlan.none()),
+                        ("disabled", None)):
+        platform, engine, report, wall = _run_resilience(0, plan)
+        wall_total += wall
+        identity[label] = (engine.result_snapshots(),
+                           report.aggregate.samples, platform.sim.now)
+    out["wall_seconds"] = wall_total
+    out["zero_fault_identical"] = (identity["zero_fault"]
+                                   == identity["disabled"])
+    return out
+
+
 def _serving_signature(report) -> dict:
     """Everything sim-determined about a serving run: per-tenant latency
     and completion-time streams plus the aggregate span.  Two runs that
@@ -502,6 +577,7 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         "cluster_point": bench_cluster_point(),
         "traffic_point": bench_traffic_point(),
         "serving_point": bench_serving_point(),
+        "resilience_point": bench_resilience_point(),
         "tracing_point": bench_obs_point(),
     }
     point = payload["fig10a_point"]
@@ -557,6 +633,13 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"{serving['unbatched']['trace_cache_hit_rate']:.2f} -> "
           f"{serving['batched']['trace_cache_hit_rate']:.2f}, "
           f"results identical: {serving['results_identical']}")
+    resilience = payload["resilience_point"]
+    print(f"  resilience {resilience['requests']} requests, 1-of-4 kill: "
+          f"no-retry slo {resilience['no_retry']['slo_attainment']:.2f} "
+          f"({resilience['no_retry']['failed']} failed) -> retry slo "
+          f"{resilience['retry']['slo_attainment']:.2f} "
+          f"({resilience['retry']['retried']} retried), zero-fault "
+          f"identical: {resilience['zero_fault_identical']}")
     tracing = payload["tracing_point"]
     print(f"  tracing: off {tracing['off_wall_seconds']:.2f}s, "
           f"on {tracing['on_wall_seconds']:.2f}s "
@@ -635,6 +718,31 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         raise SystemExit(
             f"dynamic batching lost its trace-cache hit-rate edge "
             f"(+{serving['hit_rate_gain']:.2f})"
+        )
+    if not (resilience["no_retry"]["correct"]
+            and resilience["retry"]["correct"]):
+        raise SystemExit("resilience smoke point produced incorrect results")
+    if not (resilience["no_retry"]["accounting_ok"]
+            and resilience["retry"]["accounting_ok"]):
+        raise SystemExit(
+            "resilience smoke point broke the serving accounting identity "
+            "(offered != served + shed + expired + failed)"
+        )
+    if resilience["retry"]["slo_attainment"] < 0.9:
+        raise SystemExit(
+            f"retries stopped holding the SLO floor under a device kill "
+            f"({resilience['retry']['slo_attainment']:.2f}, floor 0.9)"
+        )
+    if (resilience["retry"]["slo_attainment"]
+            <= resilience["no_retry"]["slo_attainment"]):
+        raise SystemExit(
+            "deadline-aware retries lost their edge over the no-retry "
+            "baseline under a mid-traffic device kill"
+        )
+    if not resilience["zero_fault_identical"]:
+        raise SystemExit(
+            "arming a zero-fault plan changed serving results or timing "
+            "(fault hooks are supposed to be free when idle)"
         )
     if not tracing["results_identical"]:
         raise SystemExit(

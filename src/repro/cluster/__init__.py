@@ -26,6 +26,7 @@ from repro.cluster.runtime import (
     ClusterPlatform,
     ClusterRuntime,
     make_cluster_platform,
+    resolve_launch_timeout,
 )
 from repro.cluster.scheduler import (
     MAX_SUBLAUNCHES,
@@ -48,4 +49,5 @@ __all__ = [
     "SubLaunch",
     "auto_shard_bytes",
     "make_cluster_platform",
+    "resolve_launch_timeout",
 ]

@@ -57,6 +57,11 @@ class ShardMap:
     placement: str
     num_devices: int
     shard_bytes: int
+    #: Failover redirection (dead owner -> survivor), installed by
+    #: recovery via :meth:`fail_over`.  The dict's *contents* mutate inside
+    #: the frozen map: ownership policy is immutable, residency is not.
+    #: Empty for a healthy cluster, so ownership arithmetic stays as-is.
+    remap: dict[int, int] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
@@ -97,10 +102,14 @@ class ShardMap:
             )
         rel = addr - self.base
         if self.placement == "interleaved":
-            return (rel // self.shard_bytes) % self.num_devices
-        if self.placement == "blocked":
-            return min(rel // self.block_bytes, self.num_devices - 1)
-        return 0
+            owner = (rel // self.shard_bytes) % self.num_devices
+        elif self.placement == "blocked":
+            owner = min(rel // self.block_bytes, self.num_devices - 1)
+        else:
+            owner = 0
+        if self.remap:
+            owner = self.remap.get(owner, owner)
+        return owner
 
     def is_local(self, addr: int, device: int) -> bool:
         if self.placement == "replicated":
@@ -161,6 +170,23 @@ class ShardMap:
         return sum(hi - lo for owner, lo, hi
                    in self.owner_segments(self.base, self.bound)
                    if owner == device)
+
+    def fail_over(self, failed: int, survivor: int) -> int:
+        """Redirect ``failed``'s bytes to ``survivor``; returns the bytes
+        that must be re-materialized there (0 when the device owned
+        nothing of this allocation).  Chained failures resolve: entries
+        already pointing at ``failed`` are rewritten to ``survivor``.
+        """
+        if self.placement == "replicated":
+            return 0
+        moved = self.device_bytes(failed)
+        if moved == 0:
+            return 0
+        self.remap[failed] = survivor
+        for src, dst in list(self.remap.items()):
+            if dst == failed:
+                self.remap[src] = survivor
+        return moved
 
 
 @dataclass

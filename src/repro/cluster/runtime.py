@@ -30,6 +30,7 @@ construction) > config default.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Callable
@@ -44,7 +45,13 @@ from repro.cluster.scheduler import (
 )
 from repro.config import ClusterConfig, SystemConfig, default_system
 from repro.cxl.switch import CXLSwitch
-from repro.errors import ConfigError, LaunchError, SimulationError
+from repro.errors import (
+    ConfigError,
+    LaunchError,
+    LaunchFailed,
+    PoisonError,
+    SimulationError,
+)
 from repro.exec.base import validate_backend_name
 from repro.host.api import LaunchHandle, M2NDPRuntime
 from repro.isa.assembler import KernelProgram, assemble_kernel
@@ -63,6 +70,36 @@ CLUSTER_BASE_ASID = 0x10
 #: M2func launch payload: 6-word header + bias word + argument bytes; used
 #: to charge the fan-out write through the switch's host path.
 LAUNCH_WIRE_BYTES = 56
+
+
+def resolve_launch_timeout(explicit: float | None) -> float:
+    """Explicit argument > REPRO_LAUNCH_TIMEOUT_NS env > 0 (disabled).
+
+    A positive value arms a per-launch watchdog: a launch still pending
+    that many simulated ns after issue fails with a typed
+    :class:`~repro.errors.LaunchFailed` (reason ``timeout``) instead of
+    deadlocking the event loop on a stuck device.
+    """
+    def check(value: float, source: str) -> float:
+        if not math.isfinite(value) or value < 0:
+            raise ConfigError(
+                f"launch timeout must be finite and >= 0 "
+                f"(from {source}), got {value}"
+            )
+        return value
+
+    if explicit is not None:
+        return check(float(explicit), "launch_timeout_ns argument")
+    env = os.environ.get("REPRO_LAUNCH_TIMEOUT_NS")
+    if env is not None:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_LAUNCH_TIMEOUT_NS must be a number, got {env!r}"
+            ) from None
+        return check(value, "REPRO_LAUNCH_TIMEOUT_NS environment variable")
+    return 0.0
 
 
 def resolve_scheduler_policy(explicit: str | None,
@@ -87,6 +124,9 @@ class ClusterLaunchHandle:
     complete_ns: float | None = None
     issued_ns: float = 0.0
     error: int | None = None
+    #: Typed fault (LaunchFailed / PoisonError / ...) when the launch was
+    #: accepted but lost; None for a clean completion.
+    failure: Exception | None = None
     _pending: int = 0
     _callbacks: list[Callable[["ClusterLaunchHandle"], None]] = field(
         default_factory=list)
@@ -105,7 +145,19 @@ class ClusterLaunchHandle:
         else:
             self._callbacks.append(callback)
 
+    def _fail(self, when_ns: float, exc: Exception) -> None:
+        """Complete the handle exceptionally (fault, watchdog, poison)."""
+        if self.finished:
+            return
+        self.failure = exc
+        self.complete_ns = when_ns
+        for callback in self._callbacks:
+            callback(self)
+        self._callbacks.clear()
+
     def _sub_finished(self, when_ns: float) -> None:
+        if self.finished:
+            return      # already failed; straggler completions are no-ops
         self._pending -= 1
         if self._pending == 0:
             self.complete_ns = max(
@@ -192,6 +244,7 @@ class ClusterRuntime:
         backend: str | None = None,
         scheduler: str | None = None,
         base_asid: int = CLUSTER_BASE_ASID,
+        launch_timeout_ns: float | None = None,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.system = system if system is not None else default_system()
@@ -230,6 +283,10 @@ class ClusterRuntime:
             default_shard_bytes=self.cluster_config.shard_bytes,
         )
         self.scheduler = LaunchScheduler(policy, n)
+        self.launch_timeout_ns = resolve_launch_timeout(launch_timeout_ns)
+        #: Armed FaultInjector, or None — the healthy-cluster default, in
+        #: which every fault hook below short-circuits.
+        self.faults = None
         self._kernels: dict[int, list[int]] = {}
         self._serialize_per_device: dict[int, bool] = {}
         #: source -> assembled program: serving loops re-register the same
@@ -249,6 +306,29 @@ class ClusterRuntime:
         runtime (``runtime.device.physical``) keep working because the
         functional store is shared cluster-wide."""
         return self.devices[0]
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def arm_faults(self, plan, heartbeat_ns: float | None = None):
+        """Bind a :class:`~repro.faults.plan.FaultPlan` to this cluster.
+
+        Returns the armed :class:`~repro.faults.injector.FaultInjector`
+        (lazy import: ``faults`` depends on ``cluster``, not vice versa).
+        Arming a zero-fault plan is a strict behavioral no-op.
+        """
+        from repro.faults.injector import DEFAULT_HEARTBEAT_NS, FaultInjector
+        if self.faults is not None:
+            raise ConfigError("cluster already has a fault plan armed")
+        injector = FaultInjector(
+            self, plan,
+            heartbeat_ns=(heartbeat_ns if heartbeat_ns is not None
+                          else DEFAULT_HEARTBEAT_NS),
+        )
+        injector.arm()
+        self.faults = injector
+        return injector
 
     # ------------------------------------------------------------------
     # memory (lockstep allocation + shared functional store)
@@ -354,6 +434,18 @@ class ClusterRuntime:
                                      error=h.error))
         if on_complete is not None:
             handle.on_complete(on_complete)
+        if self.faults is not None:
+            hit = self.faults.poison_hit(pool_base, pool_bound)
+            if hit is not None:
+                # CXL data poison: µthreads sweeping the range would fault;
+                # the launch completes exceptionally without issuing subs
+                self.stats.add("fault.poisoned_launches")
+                exc = PoisonError(hit[0], hit[1],
+                                  addr=max(hit[0], pool_base))
+                self.sim.schedule_at(
+                    start, (lambda: handle._fail(start, exc))
+                )
+                return handle
         # Sub-launches of *stateful* kernels (initializer/finalizer
         # scratchpad phases, e.g. accumulating reductions) are chained per
         # device: they are not safe to run concurrently with themselves on
@@ -374,6 +466,20 @@ class ClusterRuntime:
             for sub in plan:
                 self._issue_sub(handle, kids, [sub], 0, args, stride,
                                 start, order, launch_span)
+        if self.launch_timeout_ns > 0:
+            deadline = start + self.launch_timeout_ns
+
+            def watchdog() -> None:
+                if handle.finished:
+                    return
+                self.stats.add("fault.launch_timeouts")
+                handle._fail(deadline, LaunchFailed(
+                    f"cluster launch still pending "
+                    f"{self.launch_timeout_ns:g} ns after issue",
+                    reason="timeout",
+                ))
+
+            self.sim.schedule_at(deadline, watchdog)
         return handle
 
     def _issue_sub(self, handle: ClusterLaunchHandle, kids: list[int],
@@ -381,6 +487,9 @@ class ClusterRuntime:
                    stride: int, at_ns: float, order: dict[int, int],
                    trace_parent: int | None = None) -> None:
         sub = queue[index]
+        if self.faults is not None:
+            # a stall window holds issue to the device until it clears
+            at_ns = self.faults.delay_issue(sub.device, at_ns)
         tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
             else None
         sub_lane = None
@@ -421,6 +530,8 @@ class ClusterRuntime:
                                             stride, order, trace_parent,
                                             sub_span),
         )
+        if self.faults is not None:
+            self.faults.note_sub_issued(sub.device, handle, sub_handle)
         sub_handle.call.on_done(self._make_error_check(handle, sub))
         if tracer is not None:
             # the M2func read resolves the device-side instance id after
@@ -440,11 +551,16 @@ class ClusterRuntime:
                        sub_span: int | None = None):
         def sub_done(sub_handle: LaunchHandle) -> None:
             sub = queue[index]
+            if self.faults is not None and self.faults.note_sub_completion(
+                    sub.device, sub_handle):
+                # completion lost: the device died first; the injector
+                # fails the handle (typed) at heartbeat detection
+                return
             self.scheduler.note_complete(sub.device)
             when = sub_handle.complete_ns or self.sim.now
             if sub_span is not None and obs_tracer.ENABLED:
                 obs_tracer.tracer_of(self.sim).end(sub_span, when)
-            if index + 1 < len(queue):
+            if index + 1 < len(queue) and not handle.finished:
                 self._issue_sub(handle, kids, queue, index + 1, args,
                                 stride, when, order, trace_parent)
             handle._sub_finished(when)
@@ -465,7 +581,8 @@ class ClusterRuntime:
         completes (``sync=False`` returns once all instance IDs resolve)."""
         handle = self.launch_async(kernel_id, pool_base, pool_bound, args,
                                    stride=stride)
-        failed = lambda: handle.error is not None      # noqa: E731
+        failed = lambda: (handle.error is not None      # noqa: E731
+                          or handle.failure is not None)
         if sync:
             self._step_until(lambda: handle.finished or failed(),
                              "cluster launch never completed")
@@ -476,6 +593,8 @@ class ClusterRuntime:
                 ),
                 "cluster launch was never acknowledged",
             )
+        if handle.failure is not None:
+            raise handle.failure
         if handle.error is not None:
             raise LaunchError(
                 f"cluster sub-launch failed with {handle.error}", handle.error

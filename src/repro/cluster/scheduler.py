@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.placement import ShardMap
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeviceUnavailable
 
 #: Valid scheduler policy names (ClusterConfig / env validation).
 SCHEDULERS = ("round_robin", "locality", "least_outstanding")
@@ -83,6 +83,11 @@ class LaunchScheduler:
         self.max_sublaunches = max_sublaunches
         #: Live sub-launches per device, maintained by the cluster runtime.
         self.outstanding = [0] * num_devices
+        #: Routability mask: False for DOWN or draining devices.  All-True
+        #: for a healthy cluster, in which case assignment is identical to
+        #: the fault-free scheduler.
+        self.routable = [True] * num_devices
+        self.num_routable = num_devices
         # Round-robin position persists *across* plan() calls: a stream of
         # single-chunk launches (KVStore GETs) must still spread over the
         # cluster instead of all landing on device 0.
@@ -97,6 +102,17 @@ class LaunchScheduler:
 
     def note_complete(self, device: int) -> None:
         self.outstanding[device] -= 1
+
+    def set_routable(self, device: int, ok: bool) -> bool:
+        """Mark ``device`` (un)routable (DOWN device, planned drain);
+        returns True when the mask actually changed."""
+        if not 0 <= device < self.num_devices:
+            raise ConfigError(f"no device {device} to (un)route")
+        if self.routable[device] == ok:
+            return False
+        self.routable[device] = ok
+        self.num_routable += 1 if ok else -1
+        return True
 
     # ------------------------------------------------------------------
     # planning
@@ -114,6 +130,11 @@ class LaunchScheduler:
         if pool_bound <= pool_base:
             raise ConfigError(
                 f"empty pool region [{pool_base:#x}, {pool_bound:#x})"
+            )
+        if self.num_routable == 0:
+            raise DeviceUnavailable(
+                "no routable device for launch (all DOWN or draining)",
+                devices=tuple(range(self.num_devices)),
             )
         if self.num_devices == 1:
             return [SubLaunch(device=0, base=pool_base, bound=pool_bound,
@@ -140,16 +161,20 @@ class LaunchScheduler:
     # ------------------------------------------------------------------
 
     def _assign(self, owner: int, planned: list[int]) -> int:
-        if self.policy == "locality" and owner >= 0:
+        if self.policy == "locality" and owner >= 0 and self.routable[owner]:
             return owner
         if self.policy == "least_outstanding":
-            load = [self.outstanding[d] + planned[d]
-                    for d in range(self.num_devices)]
-            return load.index(min(load))
-        # round_robin, and locality over replicated/unmapped chunks
-        device = self._cursor % self.num_devices
-        self._cursor += 1
-        return device
+            return min(
+                (d for d in range(self.num_devices) if self.routable[d]),
+                key=lambda d: (self.outstanding[d] + planned[d], d),
+            )
+        # round_robin, locality over replicated/unmapped chunks, and the
+        # fallback when a chunk's owner is not routable
+        while True:
+            device = self._cursor % self.num_devices
+            self._cursor += 1
+            if self.routable[device]:
+                return device
 
     def _chunks(self, shard: ShardMap | None, lo: int, hi: int,
                 stride: int) -> list[tuple[int, int, int]]:

@@ -32,6 +32,9 @@ class CXLLink:
         self.prefix = stats_prefix
         self._down = BandwidthServer(self.config.bw_per_dir_bytes_per_ns)  # host→dev
         self._up = BandwidthServer(self.config.bw_per_dir_bytes_per_ns)    # dev→host
+        #: Active flap window (until_ns, extra_ns); None for a healthy
+        #: link, keeping the per-packet paths zero-overhead.
+        self._flap: tuple[float, float] | None = None
 
     # ------------------------------------------------------------------
 
@@ -44,6 +47,8 @@ class CXLLink:
         finish = self._down.transfer(now_ns, packet.wire_bytes)
         self.stats.add(f"{self.prefix}.down_bytes", packet.wire_bytes)
         self.stats.add(f"{self.prefix}.down_msgs")
+        if self._flap is not None:
+            finish += self._flap_penalty(now_ns)
         return finish + self.one_way_ns
 
     def send_to_host(self, now_ns: float, packet: CXLPacket) -> float:
@@ -51,7 +56,25 @@ class CXLLink:
         finish = self._up.transfer(now_ns, packet.wire_bytes)
         self.stats.add(f"{self.prefix}.up_bytes", packet.wire_bytes)
         self.stats.add(f"{self.prefix}.up_msgs")
+        if self._flap is not None:
+            finish += self._flap_penalty(now_ns)
         return finish + self.one_way_ns
+
+    # -- RAS: link flap windows (CXL CRC/retry) ----------------------------
+
+    def start_flap(self, until_ns: float, extra_ns: float) -> None:
+        """Open a flap window: packets sent before ``until_ns`` are retried
+        and charged ``extra_ns`` each (CXL link CRC/retry)."""
+        self._flap = (until_ns, extra_ns)
+        self.stats.add(f"{self.prefix}.link_flaps")
+
+    def _flap_penalty(self, now_ns: float) -> float:
+        until_ns, extra_ns = self._flap
+        if now_ns >= until_ns:
+            self._flap = None          # window over: lazy cleanup
+            return 0.0
+        self.stats.add(f"{self.prefix}.link_retries")
+        return extra_ns
 
     # -- convenience round trips -------------------------------------------
 
@@ -119,3 +142,4 @@ class CXLLink:
     def reset(self) -> None:
         self._down.reset()
         self._up.reset()
+        self._flap = None

@@ -52,6 +52,9 @@ class CXLSwitch:
         bw = self.config.bw_per_dir_bytes_per_ns
         self.upstream = BandwidthServer(bw)
         self.downstream = [BandwidthServer(bw) for _ in range(num_downstream)]
+        #: Active link-flap windows: port -> (until_ns, extra_ns).  Empty
+        #: for a healthy fabric, so the transfer paths stay zero-overhead.
+        self._flaps: dict[int, tuple[float, float]] = {}
 
     @property
     def num_downstream(self) -> int:
@@ -64,7 +67,10 @@ class CXLSwitch:
         up_done = self.upstream.transfer(now_ns, size)
         down_done = self.downstream[port].transfer(up_done, size)
         self.stats.add(f"{self.prefix}.host_bytes", size)
-        return down_done + self.config.one_way_ns + SWITCH_HOP_NS
+        done = down_done + self.config.one_way_ns + SWITCH_HOP_NS
+        if self._flaps:
+            done += self._flap_penalty(now_ns, port)
+        return done
 
     def peer_to_peer(self, now_ns: float, src_port: int, dst_port: int,
                      size: int) -> float:
@@ -74,7 +80,35 @@ class CXLSwitch:
         src_done = self.downstream[src_port].transfer(now_ns, size)
         dst_done = self.downstream[dst_port].transfer(src_done, size)
         self.stats.add(f"{self.prefix}.p2p_bytes", size)
-        return dst_done + 2 * self.config.one_way_ns + SWITCH_HOP_NS
+        done = dst_done + 2 * self.config.one_way_ns + SWITCH_HOP_NS
+        if self._flaps:
+            done += self._flap_penalty(now_ns, src_port)
+            done += self._flap_penalty(now_ns, dst_port)
+        return done
+
+    # -- RAS: link flap windows (CXL CRC/retry) ------------------------
+
+    def start_flap(self, port: int, until_ns: float, extra_ns: float) -> None:
+        """Open a flap window on ``port``: packets crossing it before
+        ``until_ns`` are retried and charged ``extra_ns`` each."""
+        if not 0 <= port < self.num_downstream:
+            raise ConfigError(f"no downstream port {port}")
+        self._flaps[port] = (until_ns, extra_ns)
+        self.stats.add(f"{self.prefix}.link_flaps")
+
+    def end_flap(self, port: int) -> None:
+        self._flaps.pop(port, None)
+
+    def _flap_penalty(self, now_ns: float, port: int) -> float:
+        entry = self._flaps.get(port)
+        if entry is None:
+            return 0.0
+        until_ns, extra_ns = entry
+        if now_ns >= until_ns:
+            del self._flaps[port]      # window over: lazy cleanup
+            return 0.0
+        self.stats.add(f"{self.prefix}.link_retries")
+        return extra_ns
 
     # ------------------------------------------------------------------
 
@@ -95,6 +129,7 @@ class CXLSwitch:
         self.upstream.reset()
         for port in self.downstream:
             port.reset()
+        self._flaps.clear()
         # Byte counters restart with the bandwidth servers: a reused switch
         # must not carry a previous run's traffic into the next one.
         self.stats.clear_prefix(f"{self.prefix}.")

@@ -56,5 +56,45 @@ class LaunchError(ReproError):
         self.code = code
 
 
+class LaunchFailed(LaunchError):
+    """A launch was lost to a fault (device failure, timeout, poison).
+
+    Unlike a plain :class:`LaunchError` — the device *rejected* the call
+    with a Table II ERR code — a ``LaunchFailed`` means the launch was
+    accepted but never completed: the device died, the watchdog fired,
+    or a poisoned line faulted the µthreads.  ``device`` is the expander
+    the launch was lost on (-1 when no single device is to blame) and
+    ``reason`` a short machine-readable tag (``device_failure`` /
+    ``timeout`` / ``poison``).
+    """
+
+    def __init__(self, message: str, device: int = -1,
+                 reason: str = "device_failure"):
+        super().__init__(message)
+        self.device = device
+        self.reason = reason
+
+
+class DeviceUnavailable(LaunchError):
+    """No routable device can take the launch (all DOWN or draining)."""
+
+    def __init__(self, message: str, devices: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.devices = devices
+
+
+class PoisonError(MemoryError_):
+    """A load touched a poisoned address range (CXL data-poison semantics)."""
+
+    def __init__(self, base: int, size: int, addr: int | None = None):
+        at = f" at {addr:#x}" if addr is not None else ""
+        super().__init__(
+            f"poisoned range [{base:#x}, {base + size:#x}) accessed{at}"
+        )
+        self.base = base
+        self.size = size
+        self.addr = addr
+
+
 class SimulationError(ReproError):
     """The discrete-event engine was used incorrectly."""

@@ -23,6 +23,10 @@ from repro.experiments.fig13 import (
 )
 from repro.experiments.fig14 import run_fig14a, run_fig14b
 from repro.experiments.fig15 import run_fig15_gpu, run_fig15_olap
+from repro.experiments.resilience import (
+    run_resilience,
+    run_resilience_hedged,
+)
 from repro.experiments.scaling import run_policy_matrix, run_scaling
 from repro.experiments.serving import run_serving, run_serving_autoscale
 
@@ -47,6 +51,8 @@ EXPERIMENTS = {
     "fig15-olap": run_fig15_olap,
     "fig15-gpu": run_fig15_gpu,
     "instr-savings": static_instruction_savings,
+    "resilience": run_resilience,
+    "resilience-hedged": run_resilience_hedged,
     "scaling": run_scaling,
     "scaling-policies": run_policy_matrix,
     "serving": run_serving,

@@ -1,0 +1,40 @@
+"""Deterministic fault injection + failure recovery for the cluster tier.
+
+See :mod:`repro.faults.plan` (what breaks, when), :mod:`repro.faults.health`
+(the host's view of each device) and :mod:`repro.faults.injector` (arming a
+plan onto a :class:`~repro.cluster.runtime.ClusterRuntime` and running the
+recovery paths).
+"""
+
+from repro.faults.health import (
+    DEGRADED,
+    DOWN,
+    DRAINING,
+    HEALTH_STATES,
+    UP,
+    HealthMonitor,
+)
+from repro.faults.injector import DEFAULT_HEARTBEAT_NS, FaultInjector
+from repro.faults.plan import (
+    DEFAULT_RETRY_NS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    generate_fault_plan,
+)
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_NS",
+    "DEFAULT_RETRY_NS",
+    "DEGRADED",
+    "DOWN",
+    "DRAINING",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HEALTH_STATES",
+    "HealthMonitor",
+    "UP",
+    "generate_fault_plan",
+]

@@ -1,0 +1,264 @@
+"""The fault injector: arms a plan onto a live cluster and runs recovery.
+
+One :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to a :class:`~repro.cluster.runtime.ClusterRuntime`: every event becomes
+a simulator callback, so faults fire in simulated time interleaved with
+the workload deterministically.  The injector also *is* the recovery
+path — it owns the cluster's :class:`~repro.faults.health.HealthMonitor`
+and, on detecting a device failure:
+
+1. marks the device DOWN and tells the :class:`LaunchScheduler` to stop
+   routing to it;
+2. fails every in-flight sub-launch on the device with a typed
+   :class:`~repro.errors.LaunchFailed` (their completions were already
+   being suppressed from the moment the device died — a dead expander
+   does not answer);
+3. re-replicates: replicated placements fail over reads immediately
+   (any survivor holds the bytes); interleaved/blocked shards are
+   re-materialized onto the next surviving device from the shared
+   functional store, with the copy charged over the switch's host port
+   (``recovery.recopy_bytes``).
+
+Detection is heartbeat-quantized: a device killed at *t* is noticed at
+the next heartbeat boundary after *t* (``heartbeat_ns`` granularity),
+which is when all of the above runs.  Everything is observable as
+``fault.*`` / ``recovery.*`` counters and, under ``REPRO_TRACE=1``, as
+trace instants and recovery spans.
+
+Arming a zero-fault plan is a strict behavioral no-op: no simulator
+events are scheduled and every runtime hook short-circuits, so results
+and ``runtime_ns`` are byte-identical to a run without the module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, LaunchFailed, PoisonError
+from repro.faults.health import DEGRADED, DOWN, UP, HealthMonitor
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.obs import tracer as obs_tracer
+
+#: Default heartbeat interval: how stale the host's view of a device may
+#: be before a failure is noticed (detection latency ceiling).
+DEFAULT_HEARTBEAT_NS = 5_000.0
+
+
+class FaultInjector:
+    """Binds a fault plan to a cluster runtime (see module docstring)."""
+
+    def __init__(self, runtime, plan: FaultPlan,
+                 heartbeat_ns: float = DEFAULT_HEARTBEAT_NS) -> None:
+        if heartbeat_ns <= 0:
+            raise ConfigError("heartbeat_ns must be positive")
+        plan.validate_against(runtime.num_devices)
+        self.runtime = runtime
+        self.plan = plan
+        self.heartbeat_ns = heartbeat_ns
+        self.stats = runtime.stats
+        self.health = HealthMonitor(runtime.num_devices, stats=self.stats)
+        self.epoch_ns = runtime.sim.now
+        #: Devices that have physically died (completions lost), keyed
+        #: before the host *detects* the death at a heartbeat boundary.
+        self._killed = [False] * runtime.num_devices
+        self._detected = [False] * runtime.num_devices
+        #: Per-device stall-window end (issue to the device is held).
+        self._stall_until = [0.0] * runtime.num_devices
+        #: Poisoned address ranges: (base, size).
+        self._poison: list[tuple[int, int]] = []
+        #: In-flight sub-launches per device: id(sub_handle) -> (handle,
+        #: device) so a detected failure can fail them typed.
+        self._live: dict[int, dict[int, object]] = {
+            d: {} for d in range(runtime.num_devices)
+        }
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every plan event on the runtime's simulator."""
+        if self._armed:
+            raise ConfigError("a FaultInjector arms once")
+        self._armed = True
+        sim = self.runtime.sim
+        for event in self.plan.events:
+            when = self.epoch_ns + event.at_ns
+            handler = getattr(self, f"_on_{event.kind}")
+            sim.schedule_at(when, (lambda e=event, h=handler: h(e)))
+        return self
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _instant(self, name: str, when: float, **args) -> None:
+        if obs_tracer.ENABLED:
+            obs_tracer.tracer_of(self.runtime.sim).instant(name, when, **args)
+
+    def _on_device_fail(self, event: FaultEvent) -> None:
+        now = self.runtime.sim.now
+        device = event.device
+        self._killed[device] = True
+        self.stats.add("fault.device_kills")
+        self._instant("fault.kill", now, pid=1 + device, device=device)
+        # the host notices at the next heartbeat boundary after the death
+        beats = int((now - self.epoch_ns) // self.heartbeat_ns) + 1
+        detect_at = self.epoch_ns + beats * self.heartbeat_ns
+        self.runtime.sim.schedule_at(
+            detect_at, (lambda d=device: self._detect(d))
+        )
+
+    def _on_device_stall(self, event: FaultEvent) -> None:
+        now = self.runtime.sim.now
+        device = event.device
+        until = now + event.duration_ns
+        self._stall_until[device] = max(self._stall_until[device], until)
+        self.stats.add("fault.stall_windows")
+        self.health.mark(device, DEGRADED, now)
+        self._instant("fault.stall", now, pid=1 + device, device=device,
+                      duration_ns=event.duration_ns)
+
+        def recover(d=device, u=until) -> None:
+            if self._stall_until[d] <= u:
+                self.health.mark(d, UP, self.runtime.sim.now)
+
+        self.runtime.sim.schedule_at(until, recover)
+
+    def _on_link_flap(self, event: FaultEvent) -> None:
+        now = self.runtime.sim.now
+        device = event.device
+        until = now + event.duration_ns
+        self.stats.add("fault.link_flaps")
+        self.health.mark(device, DEGRADED, now)
+        self.runtime.switch.start_flap(device, until, event.extra_ns)
+        link = getattr(self.runtime.devices[device], "link", None)
+        if link is not None:
+            link.start_flap(until, event.extra_ns)
+        self._instant("fault.link_flap", now, pid=1 + device, device=device,
+                      duration_ns=event.duration_ns)
+
+        def recover(d=device) -> None:
+            self.health.mark(d, UP, self.runtime.sim.now)
+
+        self.runtime.sim.schedule_at(until, recover)
+
+    def _on_poison(self, event: FaultEvent) -> None:
+        now = self.runtime.sim.now
+        self._poison.append((event.base, event.size))
+        self.stats.add("fault.poison_ranges")
+        self._instant("fault.poison", now, base=event.base, size=event.size)
+
+    # ------------------------------------------------------------------
+    # detection & recovery
+    # ------------------------------------------------------------------
+
+    def _detect(self, device: int) -> None:
+        if self._detected[device]:
+            return
+        self._detected[device] = True
+        now = self.runtime.sim.now
+        self.stats.add("fault.detections")
+        self.health.mark(device, DOWN, now)
+        self.runtime.scheduler.set_routable(device, False)
+        self._instant("fault.detect", now, pid=1 + device, device=device)
+        # fail every in-flight sub-launch stranded on the dead device
+        stranded = list(self._live[device].values())
+        self._live[device].clear()
+        for handle in stranded:
+            self.runtime.scheduler.note_complete(device)
+            self.stats.add("recovery.failed_launches")
+            handle._fail(now, LaunchFailed(
+                f"device {device} failed with the launch in flight",
+                device=device, reason="device_failure",
+            ))
+        self._recover_shards(device, now)
+
+    def _recover_shards(self, device: int, now: float) -> None:
+        """Fail over / re-materialize every allocation the device owned."""
+        survivor = self._next_survivor(device)
+        tracer = obs_tracer.tracer_of(self.runtime.sim) \
+            if obs_tracer.ENABLED else None
+        for shard in self.runtime.allocator.maps:
+            if shard.placement == "replicated":
+                # any survivor already holds the bytes: immediate failover
+                self.stats.add("recovery.failovers")
+                continue
+            moved = shard.fail_over(device, survivor)
+            if not moved:
+                continue
+            # re-materialize from the shared functional store: the copy
+            # crosses the switch into the survivor's port
+            done = self.runtime.switch.host_to_device(now, survivor, moved)
+            self.stats.add("recovery.remapped_shards")
+            self.stats.add("recovery.recopy_bytes", moved)
+            if tracer is not None:
+                tracer.record("recovery.recopy", now, done,
+                              pid=1 + survivor, device=survivor,
+                              bytes=moved, failed_device=device)
+
+    def _next_survivor(self, failed: int) -> int:
+        n = self.runtime.num_devices
+        for step in range(1, n):
+            candidate = (failed + step) % n
+            if self.health.is_routable(candidate):
+                return candidate
+        raise ConfigError("no surviving device to fail over to")
+
+    # ------------------------------------------------------------------
+    # runtime hooks (every one a cheap no-op under a zero-fault plan)
+    # ------------------------------------------------------------------
+
+    def note_sub_issued(self, device: int, handle, sub_handle) -> None:
+        """Track an in-flight sub-launch so a kill can fail it typed."""
+        self._live[device][id(sub_handle)] = handle
+
+    def note_sub_completion(self, device: int, sub_handle) -> bool:
+        """Returns True when the completion is *lost* (the device died
+        before the host could observe it); the handle then stays pending
+        until :meth:`_detect` fails it."""
+        if self._killed[device]:
+            self.stats.add("fault.lost_completions")
+            return True
+        self._live[device].pop(id(sub_handle), None)
+        return False
+
+    def delay_issue(self, device: int, ready_ns: float) -> float:
+        """Hold sub-launch issue while the device is in a stall window."""
+        until = self._stall_until[device]
+        if ready_ns < until:
+            self.stats.add("fault.stall_delays")
+            return until
+        return ready_ns
+
+    def poison_hit(self, lo: int, hi: int) -> tuple[int, int] | None:
+        """First poisoned range intersecting [lo, hi), or None."""
+        for base, size in self._poison:
+            if lo < base + size and base < hi:
+                return (base, size)
+        return None
+
+    def clear_poison(self, base: int | None = None) -> None:
+        """Scrub poisoned ranges (all of them when ``base`` is None)."""
+        if base is None:
+            self._poison.clear()
+        else:
+            self._poison = [(b, s) for b, s in self._poison if b != base]
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministic summary for manifests / reports."""
+        return {
+            "health": list(self.health.states),
+            "events": len(self.plan.events),
+            "counters": {
+                key: value for key, value in sorted(
+                    self.stats.counters("fault.").items()
+                )
+            },
+        }
+
+
+def make_poison_failure(base: int, size: int, pool_base: int) -> PoisonError:
+    """The typed fault a launch over a poisoned range completes with."""
+    return PoisonError(base, size, addr=max(base, pool_base))

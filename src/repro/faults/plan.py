@@ -1,0 +1,161 @@
+"""Fault plans: deterministic scripts of what breaks, where, and when.
+
+A :class:`FaultPlan` is an immutable schedule of :class:`FaultEvent`\\ s
+in simulated time.  Plans are either written by hand (tests, smoke
+points: "kill device 2 at t=50 µs") or generated from the cluster's
+seeded RNG streams (:func:`generate_fault_plan`), so a fault campaign is
+reproducible bit-for-bit from ``ClusterConfig.seed`` exactly like
+arrivals and tenant data are.
+
+Event kinds, mirroring the failure modes CXL's RAS machinery exists for:
+
+``device_fail``
+    Whole-expander failure at ``at_ns``.  The device stops responding:
+    in-flight sub-launch completions are lost, the next heartbeat marks
+    it DOWN, and recovery re-routes / re-materializes its shards.
+``device_stall``
+    Transient slowdown for ``duration_ns``: the device is DEGRADED and
+    sub-launch issue to it is held until the window ends (firmware
+    hiccup, thermal throttle, patrol scrub).
+``link_flap``
+    The device's switch port loses link for ``duration_ns``; packets
+    crossing the port in the window are retried and charged
+    ``extra_ns`` each (CXL link CRC/retry, §RAS).
+``poison``
+    ``[base, base + size)`` is marked poisoned at ``at_ns``: launches
+    whose pool region (or remote prefetch) touches the range fault with
+    a typed :class:`~repro.errors.PoisonError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Valid fault-event kinds.
+FAULT_KINDS = ("device_fail", "device_stall", "link_flap", "poison")
+
+#: Default extra latency charged per packet retried through a flapping
+#: link (a handful of CRC retries at link latency each).
+DEFAULT_RETRY_NS = 500.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    kind: str
+    at_ns: float
+    device: int = 0               # target expander / switch port
+    duration_ns: float = 0.0      # stall / flap window length
+    base: int = 0                 # poison range start
+    size: int = 0                 # poison range length (bytes)
+    extra_ns: float = DEFAULT_RETRY_NS   # per-packet retry charge (flap)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {list(FAULT_KINDS)}"
+            )
+        if not math.isfinite(self.at_ns) or self.at_ns < 0:
+            raise ConfigError(
+                f"fault at_ns must be finite and >= 0, got {self.at_ns}"
+            )
+        if self.kind in ("device_stall", "link_flap") and self.duration_ns <= 0:
+            raise ConfigError(f"{self.kind} needs a positive duration_ns")
+        if self.kind == "poison" and self.size <= 0:
+            raise ConfigError("poison needs a positive size")
+        if self.kind != "poison" and self.device < 0:
+            raise ConfigError(f"{self.kind} needs a device index >= 0")
+
+    @property
+    def until_ns(self) -> float:
+        """End of the fault's window (== ``at_ns`` for instant faults)."""
+        return self.at_ns + self.duration_ns
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-ordered schedule of faults."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.at_ns))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The zero-fault plan: arming it must be a behavioral no-op."""
+        return cls(())
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def of_kind(self, kind: str) -> tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind == kind)
+
+    def validate_against(self, num_devices: int) -> "FaultPlan":
+        """Check device indices fit the cluster; returns self for chaining."""
+        for event in self.events:
+            if event.kind != "poison" and event.device >= num_devices:
+                raise ConfigError(
+                    f"fault {event.kind} targets device {event.device} but "
+                    f"the cluster has {num_devices}"
+                )
+        kills = [e.device for e in self.of_kind("device_fail")]
+        if len(set(kills)) != len(kills):
+            raise ConfigError(f"duplicate device_fail targets: {kills}")
+        if len(set(kills)) >= num_devices:
+            raise ConfigError(
+                "fault plan kills every device; at least one must survive"
+            )
+        return self
+
+
+def generate_fault_plan(rng, horizon_ns: float, num_devices: int,
+                        kill_rate_per_s: float = 0.0,
+                        stall_rate_per_s: float = 0.0,
+                        stall_ns: float = 20_000.0,
+                        flap_rate_per_s: float = 0.0,
+                        flap_ns: float = 10_000.0,
+                        max_kills: int | None = None) -> FaultPlan:
+    """Draw a random fault campaign over ``[0, horizon_ns)`` from ``rng``.
+
+    ``rng`` should come from :func:`repro.serve.arrivals.stream_rng` (e.g.
+    ``stream_rng(seed, "faults")``) so the campaign is part of the run's
+    deterministic seed universe.  Rates are per *wall of simulated
+    seconds*; each class draws a Poisson count over the horizon, then
+    uniform timestamps and uniform device targets.  At most
+    ``num_devices - 1`` kills are kept (clipped to ``max_kills``) so the
+    cluster always has a survivor.
+    """
+    if horizon_ns <= 0:
+        raise ConfigError("fault horizon must be positive")
+    horizon_s = horizon_ns * 1e-9
+    events: list[FaultEvent] = []
+
+    cap = num_devices - 1 if max_kills is None else min(max_kills,
+                                                        num_devices - 1)
+    kills = min(int(rng.poisson(kill_rate_per_s * horizon_s)), cap)
+    victims = rng.permutation(num_devices)[:kills]
+    for device in victims:
+        events.append(FaultEvent(
+            "device_fail", at_ns=float(rng.uniform(0, horizon_ns)),
+            device=int(device),
+        ))
+    for _ in range(int(rng.poisson(stall_rate_per_s * horizon_s))):
+        events.append(FaultEvent(
+            "device_stall", at_ns=float(rng.uniform(0, horizon_ns)),
+            device=int(rng.integers(num_devices)), duration_ns=stall_ns,
+        ))
+    for _ in range(int(rng.poisson(flap_rate_per_s * horizon_s))):
+        events.append(FaultEvent(
+            "link_flap", at_ns=float(rng.uniform(0, horizon_ns)),
+            device=int(rng.integers(num_devices)), duration_ns=flap_ns,
+        ))
+    return FaultPlan(tuple(events)).validate_against(num_devices)

@@ -30,7 +30,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import LaunchError, SimulationError
+from repro.errors import LaunchError, ProtocolError, SimulationError
 from repro.isa.assembler import KernelProgram, assemble_kernel
 from repro.ndp.controller import (
     FUNC_LAUNCH,
@@ -223,7 +223,10 @@ class M2NDPRuntime:
                     f"M2func call {call.func} never completed (deadlock?)"
                 )
         self.now = max(self.now, call.done_ns or 0.0)
-        assert call.value is not None
+        if call.value is None:
+            raise ProtocolError(
+                f"M2func call {call.func} resolved without a response"
+            )
         return call.value
 
     # ------------------------------------------------------------------
@@ -356,5 +359,9 @@ class M2NDPRuntime:
         kid = self.register_kernel(source, scratchpad_bytes, name=name)
         handle = self.launch_kernel(kid, pool_base, pool_bound, args,
                                     sync=True, stride=stride)
-        assert handle.instance_id is not None
+        if handle.instance_id is None:
+            raise LaunchError(
+                f"synchronous launch of kernel {kid} finished without "
+                "an instance id"
+            )
         return self.device.controller.instances[handle.instance_id]

@@ -21,7 +21,7 @@ from repro.cxl.hdm import HDMCoherence
 from repro.cxl.link import CXLLink
 from repro.cxl.packet_filter import PacketFilter
 from repro.cxl.protocol import CXLPacket, PacketType
-from repro.errors import LaunchError
+from repro.errors import LaunchError, ProtocolError
 from repro.exec.base import make_backend
 from repro.isa.assembler import KernelProgram
 from repro.mem.dram import DRAMModel
@@ -249,7 +249,10 @@ class M2NDPDevice:
             data = self.physical.read_bytes(addr, size)
             self._respond(data, when_ns + DEVICE_PORT_NS, addr, callback)
 
-        assert response.waiting_instance is not None
+        if response.waiting_instance is None:
+            raise ProtocolError(
+                "deferred read response carries no waiting instance"
+            )
         self.controller.add_completion_waiter(response.waiting_instance,
                                               on_complete)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import ExecutionError
 from repro.isa.assembler import Program
 from repro.mem.scratchpad import SCRATCHPAD_VBASE
 from repro.ndp.kernel import KernelInstance, KernelStatus
@@ -179,7 +180,11 @@ class KernelExecution:
         return self._plan is not None and self._plan.has_pending(unit)
 
     def take_for_unit(self, unit: int) -> ThreadDescriptor:
-        assert self._plan is not None
+        if self._plan is None:
+            raise ExecutionError(
+                f"unit {unit} asked for a uthread before the launch "
+                "plan was built"
+            )
         return self._plan.take(unit)
 
     def consume_plan(self) -> None:

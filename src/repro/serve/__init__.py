@@ -59,6 +59,7 @@ from repro.serve.qos import (
     RequestQueue,
     validate_serve_scheduler,
 )
+from repro.serve.resilience import RetryPolicy
 from repro.serve.stats import ServingReport, ServingStats, TenantReport
 from repro.serve.tenant import (
     SERVE_KINDS,
@@ -88,6 +89,7 @@ __all__ = [
     "QoSScheduler",
     "Request",
     "RequestQueue",
+    "RetryPolicy",
     "SERVE_KINDS",
     "SERVE_SCHEDULERS",
     "SHED_QUEUE_FULL",

@@ -36,7 +36,8 @@ import os
 from typing import Callable
 
 from repro.cluster.runtime import ClusterPlatform
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeviceUnavailable, PoisonError
+from repro.faults.health import DRAINING, UP
 from repro.obs import tracer as obs_tracer
 from repro.obs.timeline import UtilizationSampler
 from repro.serve.admission import ADMIT, AdmissionController
@@ -106,6 +107,9 @@ class _TenantState:
         self.process = make_arrival_process(
             spec.arrivals, stream_rng(seed, spec.name + "#arrivals")
         )
+        #: Deterministic jitter stream for retry backoff (seeded like the
+        #: arrival stream, so retries replay byte-identically per seed).
+        self.retry_rng = stream_rng(seed, spec.name + "#retry")
         self.issued = 0               # next request index
 
     @property
@@ -184,6 +188,11 @@ class ServingEngine:
         self._last_tick_ns = 0.0
         self._tick_scheduled = False
         self._flush_at: dict[str, float] = {}
+        #: Devices quiescing (no new routing, in-flight work finishing)
+        #: and devices fully quiesced.  Only devices *this engine* drained
+        #: live here — fault-detected DOWN devices are the injector's.
+        self._draining: set[int] = set()
+        self._drained: set[int] = set()
         self._ran = False
         self._util: UtilizationSampler | None = None
         # the platform's counters are cumulative; report this run's delta
@@ -198,8 +207,15 @@ class ServingEngine:
 
     @property
     def capacity(self) -> int:
-        """Concurrent-launch cap under the current active device set."""
-        return self.autoscaler.active * self.inflight_per_device
+        """Concurrent-launch cap under the current active device set.
+
+        Capped by the scheduler's routable count so failed/draining
+        devices stop backing in-flight slots; identical to
+        ``active x inflight_per_device`` while the cluster is healthy.
+        """
+        usable = min(self.autoscaler.active,
+                     self.runtime.scheduler.num_routable)
+        return usable * self.inflight_per_device
 
     def _charge_busy(self, now_ns: float) -> None:
         self._busy_integral += self._inflight * (now_ns - self._last_busy_ns)
@@ -348,13 +364,75 @@ class ServingEngine:
                     "serve.launch", now, tid=tracer.alloc_tid(0),
                     parent=batch.requests[0].trace_root,
                     tenant=tenant, batch=batch.size)
+            try:
+                self._dispatch(state, plan, batch.requests, now, launch_span)
+            except DeviceUnavailable as exc:
+                # every device is DOWN or draining: fail the batch through
+                # the retry machinery rather than crashing the run loop
+                self._charge_busy(now)
+                self._inflight -= 1
+                if obs_tracer.ENABLED:
+                    obs_tracer.tracer_of(self.sim).end(
+                        launch_span, now, outcome="unroutable")
+                self._handle_failure(state, batch.requests, exc, now)
+
+    def _dispatch(self, state: _TenantState, plan, requests: list[Request],
+                  now: float, launch_span: int | None) -> None:
+        """Issue the cluster launch, optionally racing a hedged duplicate.
+
+        Hedging applies only to ``hedgeable`` workloads (replicated
+        idempotent point lookups): if the primary launch has not finished
+        ``hedge_delay_ns`` after dispatch, a duplicate of the same plan is
+        issued and the first success wins.  The completion callback fires
+        exactly once; a failed copy defers to an outstanding sibling.
+        """
+        spec = state.spec
+        done_cb = self._make_done(state, requests, plan, launch_span)
+        if spec.hedge_delay_ns <= 0 or not state.workload.hedgeable:
             self.runtime.launch_async(
                 plan.kernel_id, plan.base, plan.bound, args=plan.args,
                 stride=plan.stride, at_ns=now + HOST_DISPATCH_NS,
-                on_complete=self._make_done(state, batch.requests, plan,
-                                            launch_span),
-                trace_parent=launch_span,
+                on_complete=done_cb, trace_parent=launch_span,
             )
+            return
+        race = {"settled": False, "pending": 1}
+
+        def settle(handle, hedged: bool) -> None:
+            race["pending"] -= 1
+            if race["settled"]:
+                return
+            failure = getattr(handle, "failure", None)
+            if failure is not None and race["pending"] > 0:
+                return                # the sibling copy may still win
+            race["settled"] = True
+            if hedged and failure is None:
+                self.stats.hedged_won(spec.name)
+            done_cb(handle)
+
+        primary = self.runtime.launch_async(
+            plan.kernel_id, plan.base, plan.bound, args=plan.args,
+            stride=plan.stride, at_ns=now + HOST_DISPATCH_NS,
+            on_complete=(lambda h: settle(h, False)),
+            trace_parent=launch_span,
+        )
+
+        def maybe_hedge() -> None:
+            if race["settled"] or primary.finished:
+                return
+            try:
+                self.runtime.launch_async(
+                    plan.kernel_id, plan.base, plan.bound, args=plan.args,
+                    stride=plan.stride, at_ns=self.sim.now,
+                    on_complete=(lambda h: settle(h, True)),
+                    trace_parent=launch_span,
+                )
+            except DeviceUnavailable:
+                return                # nowhere to hedge to; primary stands
+            race["pending"] += 1
+            self.stats.hedged(spec.name)
+
+        self.sim.schedule_at(now + HOST_DISPATCH_NS + spec.hedge_delay_ns,
+                             maybe_hedge)
 
     def _lane_completions(self, handle, plan, count: int) -> list[float] | None:
         """Per-request completion times of a scatter batch, lane order.
@@ -388,8 +466,17 @@ class ServingEngine:
             self._inflight -= 1
             tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
                 else None
+            failure = getattr(handle, "failure", None)
+            if failure is not None:
+                if tracer is not None:
+                    tracer.end(launch_span, when, outcome="failed")
+                self._handle_failure(state, requests, failure, when)
+                self._check_drains(when)
+                self._pump()
+                return
             if tracer is not None:
                 tracer.end(launch_span, when)
+            state.workload.note_served(requests)
             lane_times = (self._lane_completions(handle, plan, len(requests))
                           if plan.scatter else None)
             latencies: list[float] = []
@@ -408,8 +495,144 @@ class ServingEngine:
                                     within_slo)
             for done_ns in completions:
                 self._feedback(state, done_ns)
+            self._check_drains(when)
             self._pump()
         return done
+
+    # ------------------------------------------------------------------
+    # failure handling (retries + terminal accounting)
+    # ------------------------------------------------------------------
+
+    def _handle_failure(self, state: _TenantState, requests: list[Request],
+                        failure: Exception, when: float) -> None:
+        """Route a failed batch through the tenant's retry policy.
+
+        Each request independently either re-queues after a backoff
+        (budget left, and — under a deadline-aware policy — the retry
+        still fires before its deadline) or terminates as ``failed``.
+        Poison is never retried: the corrupted range persists, so a
+        retry would deterministically hit it again.
+        """
+        spec = state.spec
+        policy = spec.retry
+        retryable = not isinstance(failure, PoisonError)
+        tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
+            else None
+        for request in requests:
+            if tracer is not None:
+                tracer.end(request.trace_inflight, when)
+                request.trace_inflight = None
+            fire = None
+            if retryable and request.attempts < policy.max_retries:
+                delay = policy.delay_ns(request.attempts, state.retry_rng)
+                candidate = when + delay
+                if not policy.deadline_aware \
+                        or candidate <= request.deadline_ns:
+                    fire = candidate
+            if fire is None:
+                self.stats.failed(spec.name)
+                if tracer is not None:
+                    tracer.end(request.trace_root, when, outcome="failed")
+                self._feedback(state, when)
+                continue
+            request.attempts += 1
+            self.stats.retried(spec.name)
+            if tracer is not None:
+                tracer.instant(
+                    "serve.retry", when, parent=request.trace_root,
+                    attempt=request.attempts,
+                    cause=type(failure).__name__)
+            self.sim.schedule_at(fire,
+                                 (lambda r=request: self._requeue(r)))
+
+    def _requeue(self, request: Request) -> None:
+        """Put a retried request back in its tenant's queue (EDF keeps
+        its original absolute deadline, so it sorts ahead of newer work)."""
+        now = self.sim.now
+        request.trace_hold = None
+        if obs_tracer.ENABLED and request.trace_root is not None:
+            request.trace_queue = obs_tracer.tracer_of(self.sim).begin(
+                "serve.queue", now, parent=request.trace_root,
+                attempt=request.attempts)
+        self.queue.push(request)
+        self._ensure_tick()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # graceful drain (planned maintenance / autoscale scale-down)
+    # ------------------------------------------------------------------
+
+    def schedule_drain(self, device: int, at_ns: float) -> None:
+        """Planned maintenance: start quiescing ``device`` at ``at_ns``."""
+        if not 0 <= device < self.runtime.num_devices:
+            raise ConfigError(f"cannot drain device {device}: cluster has "
+                              f"{self.runtime.num_devices} devices")
+        self.sim.schedule_at(float(at_ns),
+                             (lambda: self._start_drain(device)))
+
+    def _start_drain(self, device: int) -> None:
+        now = self.sim.now
+        if device in self._draining or device in self._drained:
+            return
+        if not self.runtime.scheduler.set_routable(device, False):
+            return                    # already unroutable (e.g. DOWN)
+        self._draining.add(device)
+        self.runtime.stats.add("recovery.drains_started")
+        if self.runtime.faults is not None:
+            self.runtime.faults.health.mark(device, DRAINING, now)
+        if obs_tracer.ENABLED:
+            obs_tracer.tracer_of(self.sim).instant(
+                "recovery.drain_start", now, device=device)
+        self._check_drains(now)
+
+    def _undrain(self, device: int) -> None:
+        if device in self._draining:
+            self._draining.discard(device)
+        elif device in self._drained:
+            self._drained.discard(device)
+        else:
+            return
+        self.runtime.scheduler.set_routable(device, True)
+        if self.runtime.faults is not None:
+            self.runtime.faults.health.mark(device, UP, self.sim.now)
+        self.runtime.stats.add("recovery.undrains")
+
+    def _check_drains(self, now: float) -> None:
+        """Promote draining devices with no in-flight work to drained."""
+        if not self._draining:
+            return
+        outstanding = self.runtime.scheduler.outstanding
+        for device in sorted(self._draining):
+            if outstanding[device] == 0:
+                self._draining.discard(device)
+                self._drained.add(device)
+                self.runtime.stats.add("recovery.drains_completed")
+                if obs_tracer.ENABLED:
+                    obs_tracer.tracer_of(self.sim).instant(
+                        "recovery.drain_complete", now, device=device)
+
+    def _sync_autoscale_drain(self, now: float) -> None:
+        """Align drained devices with the autoscaler's active count.
+
+        Scale-down drains the highest-index routable devices (so device
+        0 — the remap fail-over anchor — leaves last); scale-up
+        un-drains the lowest-index drained device first.  Only devices
+        this engine drained are ever un-drained.
+        """
+        scheduler = self.runtime.scheduler
+        want = self.runtime.num_devices - self.autoscaler.active
+        have = len(self._draining) + len(self._drained)
+        while have < want:
+            candidates = [d for d in range(self.runtime.num_devices)
+                          if scheduler.routable[d]]
+            if len(candidates) <= 1:
+                break                 # never drain the last routable device
+            self._start_drain(candidates[-1])
+            have += 1
+        while have > want and (self._draining or self._drained):
+            pool = self._draining | self._drained
+            self._undrain(min(pool))
+            have -= 1
 
     def _feedback(self, state: _TenantState, when: float) -> None:
         """Terminal outcome feedback: closed loops issue their next request."""
@@ -454,6 +677,9 @@ class ServingEngine:
                        if self.capacity and span > 0 else 0.0)
         self._busy_integral = 0.0
         self.autoscaler.observe(now, min(utilization, 1.0))
+        if self.autoscale_policy.enabled and self.autoscale_policy.drain:
+            self._sync_autoscale_drain(now)
+        self._check_drains(now)
         self.stats.mark_window(now)
         if self._util is not None:
             self._util.mark(now)

@@ -74,6 +74,9 @@ class Request:
     slice_lo: int
     slice_hi: int
     complete_ns: float | None = None
+    #: Launches this request has been part of that failed (fault/timeout);
+    #: compared against the tenant's retry budget.
+    attempts: int = 0
     #: Trace span ids (``repro.obs``), populated only while tracing is
     #: enabled.  Safe to carry here: queue heaps key on ``sort_key``
     #: whose ``seq`` component is unique, so Requests never compare.

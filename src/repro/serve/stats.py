@@ -34,6 +34,12 @@ class TenantReport:
     expired: int = 0
     slo_met: int = 0
     launches: int = 0
+    #: Resilience outcomes: retries are *events* (a request may retry
+    #: several times), ``failed`` is terminal (all attempts lost).
+    retried: int = 0
+    hedged: int = 0
+    hedged_won: int = 0
+    failed: int = 0
     latencies: Distribution = field(default_factory=Distribution)
     completion_times: list[float] = field(default_factory=list)
     correct: bool = True
@@ -53,6 +59,17 @@ class TenantReport:
     @property
     def admitted(self) -> int:
         return self.offered - self.shed
+
+    @property
+    def accounted(self) -> int:
+        """Terminal outcomes: must equal ``offered`` after a drained run
+        (every offered request is served, shed, expired or failed —
+        exactly once)."""
+        return self.served + self.shed + self.expired + self.failed
+
+    @property
+    def accounting_ok(self) -> bool:
+        return self.accounted == self.offered
 
     @property
     def span_ns(self) -> float:
@@ -167,6 +184,23 @@ class ServingStats:
         self.reports[tenant].launches += 1
         self._bump(tenant, "launches")
         self._bump(tenant, "batched_requests", batch_size)
+
+    def retried(self, tenant: str, count: int = 1) -> None:
+        self.reports[tenant].retried += count
+        self._bump(tenant, "retried", float(count))
+
+    def hedged(self, tenant: str) -> None:
+        self.reports[tenant].hedged += 1
+        self._bump(tenant, "hedged")
+
+    def hedged_won(self, tenant: str) -> None:
+        self.reports[tenant].hedged_won += 1
+        self._bump(tenant, "hedged_won")
+
+    def failed(self, tenant: str, count: int = 1) -> None:
+        """Terminal failure: every attempt for the request was lost."""
+        self.reports[tenant].failed += count
+        self._bump(tenant, "failed", float(count))
 
     def served(self, tenant: str, latency_ns: float, complete_ns: float,
                within_slo: bool) -> None:
@@ -287,7 +321,8 @@ class ServingReport:
     def render(self) -> str:
         lines = [
             f"{'tenant':>10} | {'class':>11} | {'offered':>7} | "
-            f"{'served':>6} | {'shed':>5} | {'exp':>4} | {'p50 ns':>9} | "
+            f"{'served':>6} | {'shed':>5} | {'exp':>4} | {'fail':>4} | "
+            f"{'retry':>5} | {'p50 ns':>9} | "
             f"{'p99 ns':>10} | {'SLO':>6} | {'goodput':>10} | {'batch':>5}"
         ]
         for t in self.tenants:
@@ -297,7 +332,8 @@ class ServingReport:
                    else f"{'-':>5}")
             lines.append(
                 f"{t.name:>10} | {t.qos_class:>11} | {t.offered:>7} | "
-                f"{t.served:>6} | {t.shed:>5} | {t.expired:>4} | {p50} | "
+                f"{t.served:>6} | {t.shed:>5} | {t.expired:>4} | "
+                f"{t.failed:>4} | {t.retried:>5} | {p50} | "
                 f"{p99} | {slo:>6} | {t.goodput_rps:>10,.0f} | "
                 f"{t.mean_batch:>5.1f}"
             )

@@ -41,6 +41,7 @@ from repro.kernels.olap import EVAL_RANGE_I32
 from repro.kernels.vecadd import VECADD
 from repro.serve.arrivals import ArrivalSpec, stream_rng
 from repro.serve.qos import QOS_CLASSES, Request, validate_qos_class
+from repro.serve.resilience import RetryPolicy
 from repro.workloads import kvstore
 
 #: Request kinds the serving tiers implement.
@@ -74,6 +75,12 @@ class TenantSpec:
     #: Working-set slices requests cycle through (vecadd / olap).
     slices: int = 8
     placement: str | None = None
+    #: Retry budget for launches lost to faults (default: none).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Hedged requests: > 0 issues a duplicate launch if the primary has
+    #: not completed within this delay (replicated point reads only; the
+    #: first completion wins).  0 disables hedging.
+    hedge_delay_ns: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in SERVE_KINDS:
@@ -92,6 +99,10 @@ class TenantSpec:
         if self.size < 0 or self.rate_limit_rps < 0 or self.max_queue_depth < 0:
             raise ConfigError(
                 f"tenant {self.name!r}: sizes and limits must be >= 0"
+            )
+        if not math.isfinite(self.hedge_delay_ns) or self.hedge_delay_ns < 0:
+            raise ConfigError(
+                f"tenant {self.name!r}: hedge_delay_ns must be >= 0"
             )
 
     @property
@@ -146,6 +157,14 @@ class TenantWorkload:
     def scatter_batchable(self) -> bool:
         """Independent point requests fuse via the staging ring."""
         return self.spec.kind == "kvstore" and self._scatter_enabled
+
+    @property
+    def hedgeable(self) -> bool:
+        """Point reads over replicated data may be hedged: any device can
+        serve them, and the result-slot writes are idempotent, so racing
+        a duplicate launch is safe."""
+        return (self.spec.kind == "kvstore"
+                and (self.spec.placement or "replicated") == "replicated")
 
     def slice_of(self, index: int) -> tuple[int, int]:
         """Working-set slice range request ``index`` covers."""
@@ -214,8 +233,11 @@ class TenantWorkload:
             self.scatter_kid = self.runtime.register_kernel(
                 KVS_GET_SCATTER, name=f"{self.spec.name}.get_scatter"
             )
+            # retried requests are re-planned into fresh ring entries, so
+            # the ring is sized for the worst-case attempt count
+            entries = requests * (1 + self.spec.retry.max_retries)
             self.staging_addr = self.runtime.alloc(
-                requests * SCATTER_ENTRY_BYTES, align=128,
+                entries * SCATTER_ENTRY_BYTES, align=128,
                 placement=placement,
             )
             self._staging_cursor = 0
@@ -223,19 +245,22 @@ class TenantWorkload:
     # -- launch construction ------------------------------------------------
 
     def plan(self, requests: list[Request]) -> LaunchPlan:
-        """One launch covering a batch's merged slice range."""
+        """One launch covering a batch's merged slice range.
+
+        Planning is side-effect free on the verification state: launches
+        can fail (faults) and be re-planned on retry, so what-was-served
+        bookkeeping happens in :meth:`note_served` on the success path.
+        """
         spec = self.spec
         lo = min(r.slice_lo for r in requests)
         hi = max(r.slice_hi for r in requests)
         if spec.kind == "vecadd":
-            self._touched.update(range(lo, hi))
             off = lo * spec.effective_size * 8
             base = self.addr_a + off
             bound = self.addr_a + hi * spec.effective_size * 8
             return LaunchPlan(self.kid, base, bound,
                               pack_args(self.addr_b + off, self.addr_c + off))
         if spec.kind == "olap":
-            self._touched.update(range(lo, hi))
             rows = spec.effective_size
             base = self.addr_col + lo * rows * 4
             bound = self.addr_col + hi * rows * 4
@@ -252,7 +277,6 @@ class TenantWorkload:
                 *req.key, self.data.buckets
             )
             slot = self.slots_addr + request.index * 128
-            self._checks.append((slot, req.value_seed))
             return LaunchPlan(self.kid, slot, slot + 32,
                               pack_args(bucket_ptr, *req.key))
         base = (self.staging_addr
@@ -264,7 +288,6 @@ class TenantWorkload:
                 *req.key, self.data.buckets
             )
             slot = self.slots_addr + request.index * 128
-            self._checks.append((slot, req.value_seed))
             physical.write_bytes(
                 base + i * SCATTER_ENTRY_BYTES,
                 struct.pack("<5Q", bucket_ptr, *req.key, slot),
@@ -275,6 +298,23 @@ class TenantWorkload:
             base + len(requests) * SCATTER_ENTRY_BYTES,
             args=b"", stride=SCATTER_ENTRY_BYTES, scatter=True,
         )
+
+    def note_served(self, requests: list[Request]) -> None:
+        """Record a successfully served batch for post-run verification.
+
+        Called by the engine on launch completion (not at plan time):
+        requests whose every launch attempt failed must not be verified —
+        their slices/slots were legitimately never produced.
+        """
+        spec = self.spec
+        if spec.kind == "kvstore":
+            for request in requests:
+                req = self.data.requests[request.index]
+                slot = self.slots_addr + request.index * 128
+                self._checks.append((slot, req.value_seed))
+            return
+        for request in requests:
+            self._touched.update(range(request.slice_lo, request.slice_hi))
 
     # -- post-run verification ----------------------------------------------
 

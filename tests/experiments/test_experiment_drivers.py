@@ -17,7 +17,8 @@ class TestRegistry:
                     "fig10b", "fig10c", "fig11a", "fig11b", "fig12a",
                     "fig12b", "fig13a-freq", "fig13a-ltu", "fig13b",
                     "fig14a", "fig14b", "fig15-olap", "fig15-gpu",
-                    "instr-savings", "scaling", "scaling-policies",
+                    "instr-savings", "resilience", "resilience-hedged",
+                    "scaling", "scaling-policies",
                     "serving", "serving-autoscale"}
         assert expected <= set(EXPERIMENTS)
 

@@ -1,0 +1,112 @@
+"""FaultPlan/FaultEvent validation and seeded plan generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultEvent, FaultPlan, generate_fault_plan
+
+
+class TestFaultEvent:
+    def test_valid_kinds_only(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("meteor_strike", at_ns=10.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("device_fail", at_ns=-1.0)
+
+    def test_stall_needs_duration(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("device_stall", at_ns=10.0, duration_ns=0.0)
+
+    def test_poison_needs_range(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("poison", at_ns=10.0, base=0x1000, size=0)
+
+    def test_until_ns(self):
+        event = FaultEvent("device_stall", at_ns=10.0, duration_ns=5.0)
+        assert event.until_ns == 15.0
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(events=(
+            FaultEvent("device_fail", at_ns=50.0, device=1),
+            FaultEvent("device_stall", at_ns=10.0, device=0,
+                       duration_ns=5.0),
+        ))
+        assert [e.at_ns for e in plan.events] == [10.0, 50.0]
+
+    def test_none_is_empty(self):
+        assert FaultPlan.none().empty
+        assert not FaultPlan(events=(
+            FaultEvent("device_fail", at_ns=1.0),
+        )).empty
+
+    def test_of_kind_filters(self):
+        plan = FaultPlan(events=(
+            FaultEvent("device_fail", at_ns=1.0, device=0),
+            FaultEvent("link_flap", at_ns=2.0, device=1, duration_ns=3.0),
+        ))
+        assert len(plan.of_kind("device_fail")) == 1
+        assert plan.of_kind("poison") == ()
+
+    def test_validate_rejects_out_of_range_device(self):
+        plan = FaultPlan(events=(
+            FaultEvent("device_fail", at_ns=1.0, device=7),
+        ))
+        with pytest.raises(ConfigError):
+            plan.validate_against(4)
+
+    def test_validate_rejects_duplicate_kills(self):
+        plan = FaultPlan(events=(
+            FaultEvent("device_fail", at_ns=1.0, device=1),
+            FaultEvent("device_fail", at_ns=2.0, device=1),
+        ))
+        with pytest.raises(ConfigError):
+            plan.validate_against(4)
+
+    def test_validate_requires_a_survivor(self):
+        plan = FaultPlan(events=(
+            FaultEvent("device_fail", at_ns=1.0, device=0),
+            FaultEvent("device_fail", at_ns=2.0, device=1),
+        ))
+        with pytest.raises(ConfigError):
+            plan.validate_against(2)
+        assert plan.validate_against(3) is plan
+
+
+class TestGeneratePlan:
+    def test_deterministic_for_seed(self):
+        first = generate_fault_plan(np.random.default_rng(7), 1e6, 4,
+                                    kill_rate_per_s=2e3,
+                                    stall_rate_per_s=5e3,
+                                    flap_rate_per_s=5e3)
+        second = generate_fault_plan(np.random.default_rng(7), 1e6, 4,
+                                     kill_rate_per_s=2e3,
+                                     stall_rate_per_s=5e3,
+                                     flap_rate_per_s=5e3)
+        assert first == second
+
+    def test_seed_changes_plan(self):
+        plans = [generate_fault_plan(np.random.default_rng(seed), 1e6, 4,
+                                     stall_rate_per_s=1e4)
+                 for seed in (1, 2)]
+        assert plans[0] != plans[1]
+
+    def test_zero_rates_give_empty_plan(self):
+        assert generate_fault_plan(np.random.default_rng(1), 1e6, 4).empty
+
+    def test_generated_plan_validates(self):
+        for seed in range(8):
+            plan = generate_fault_plan(np.random.default_rng(seed), 1e6, 4,
+                                       kill_rate_per_s=5e3,
+                                       stall_rate_per_s=5e3,
+                                       flap_rate_per_s=5e3)
+            plan.validate_against(4)
+
+    def test_max_kills_caps_and_keeps_survivor(self):
+        plan = generate_fault_plan(np.random.default_rng(3), 1e6, 2,
+                                   kill_rate_per_s=1e5)
+        assert len(plan.of_kind("device_fail")) <= 1
