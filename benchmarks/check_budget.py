@@ -47,6 +47,8 @@ TRACKED_FIELDS = (
     "serving_point.unbatched.wall_seconds",
     "serving_point.batched.wall_seconds",
     "resilience_point.wall_seconds",
+    "monitoring_point.off_wall_seconds",
+    "monitoring_point.on_wall_seconds",
 )
 
 #: Dotted paths that must be exactly zero in the fresh run: interpreter

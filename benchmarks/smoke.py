@@ -40,6 +40,8 @@ import numpy as np
 
 from repro import obs
 from repro.cluster import make_cluster_platform
+from repro.obs.incidents import grade_against_plan
+from repro.obs.monitor import DEFAULT_MONITOR_INTERVAL_NS
 from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
 from repro.host.api import pack_args
@@ -420,7 +422,7 @@ def bench_serving_point() -> dict:
 RESILIENCE_SMOKE_REQUESTS = 16
 
 
-def _run_resilience(retries: int, plan) -> tuple:
+def _run_resilience(retries: int, plan, **engine_kwargs) -> tuple:
     platform = make_cluster_platform(num_devices=4, backend="batched")
     if plan is not None:
         platform.runtime.arm_faults(plan)
@@ -433,7 +435,7 @@ def _run_resilience(retries: int, plan) -> tuple:
         retry=RetryPolicy(max_retries=retries, backoff_ns=500.0,
                           jitter_ns=200.0),
     )
-    engine = ServingEngine(platform, [spec])
+    engine = ServingEngine(platform, [spec], **engine_kwargs)
     start = time.perf_counter()
     report = engine.run()
     wall = time.perf_counter() - start
@@ -567,6 +569,53 @@ def bench_obs_point() -> dict:
     }
 
 
+def bench_monitoring_point() -> dict:
+    """Always-on monitoring must observe without perturbing.
+
+    Re-runs the resilience kill point twice on the same seed —
+    monitoring off, then on with an incident directory — and gates that
+    (a) results and latency streams are byte-identical, (b) every
+    injected fault is alerted (recall 1.0), (c) the alert lands within
+    one monitor beat of heartbeat detection, and (d) at least one
+    coherent incident bundle is written.  Bundles land in
+    ``incidents/`` for the CI artifact upload.
+    """
+    kill = FaultPlan(events=(
+        FaultEvent("device_fail", at_ns=3_000.0, device=1),
+    ))
+    os.makedirs("incidents", exist_ok=True)
+    _, engine_off, report_off, off_wall = _run_resilience(
+        3, kill, monitoring=False)
+    platform, engine_on, report_on, on_wall = _run_resilience(
+        3, kill, monitoring=True, incident_dir="incidents")
+    grade = grade_against_plan(platform.runtime.faults,
+                               engine_on.monitor.alerts)
+    bundles = engine_on.reporter.bundles
+    timeline_coherent = False
+    for bundle in bundles:
+        t = {row["kind"]: row["t_ns"] for row in bundle["timeline"]}
+        if ("fault.kill" in t and "fault.detect" in t
+                and t["fault.kill"] <= t["fault.detect"]):
+            timeline_coherent = True
+    return {
+        "off_wall_seconds": off_wall,
+        "on_wall_seconds": on_wall,
+        "overhead_ratio": on_wall / off_wall if off_wall else 0.0,
+        "results_identical": (
+            engine_off.result_snapshots() == engine_on.result_snapshots()
+            and _serving_signature(report_off)
+            == _serving_signature(report_on)),
+        "alerts": grade["alerts"],
+        "recall": grade["recall"],
+        "precision": grade["precision"],
+        "mean_mttd_ns": grade["mean_mttd_ns"],
+        "max_mtta_ns": grade["max_mtta_ns"],
+        "incidents": len(bundles),
+        "incident_files": len(engine_on.reporter.paths),
+        "timeline_coherent": timeline_coherent,
+    }
+
+
 def main(out_path: str = "BENCH_smoke.json") -> dict:
     payload = {
         "python": platform_mod.python_version(),
@@ -579,6 +628,7 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         "serving_point": bench_serving_point(),
         "resilience_point": bench_resilience_point(),
         "tracing_point": bench_obs_point(),
+        "monitoring_point": bench_monitoring_point(),
     }
     point = payload["fig10a_point"]
     with open(out_path, "w") as fh:
@@ -648,6 +698,15 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"{tracing['traced_launches']} launches / "
           f"{tracing['spans']} spans, "
           f"identical: {tracing['results_identical']}")
+    monitoring = payload["monitoring_point"]
+    print(f"  monitoring: off {monitoring['off_wall_seconds']:.2f}s, "
+          f"on {monitoring['on_wall_seconds']:.2f}s "
+          f"({monitoring['overhead_ratio']:.2f}x), recall "
+          f"{monitoring['recall']:.2f} / precision "
+          f"{monitoring['precision']:.2f}, MTTD "
+          f"{monitoring['mean_mttd_ns']:.0f} ns, "
+          f"{monitoring['incidents']} incidents, "
+          f"identical: {monitoring['results_identical']}")
     if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
         raise SystemExit("smoke benchmark produced incorrect results")
     if not (fig06["interpreter"]["correct"] and fig06["batched"]["correct"]):
@@ -752,6 +811,27 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         raise SystemExit(
             f"exec spans cover only {tracing['span_coverage']:.1%} of "
             f"traced launch runtime (floor 90%)"
+        )
+    if not monitoring["results_identical"]:
+        raise SystemExit(
+            "enabling the SLO monitor changed serving results or timings "
+            "(monitoring is supposed to observe, never steer)"
+        )
+    if monitoring["recall"] < 1.0:
+        raise SystemExit(
+            f"monitoring missed an injected fault (recall "
+            f"{monitoring['recall']:.2f}, floor 1.0)"
+        )
+    if monitoring["max_mtta_ns"] > DEFAULT_MONITOR_INTERVAL_NS:
+        raise SystemExit(
+            f"alert lagged detection by {monitoring['max_mtta_ns']:.0f} ns "
+            f"(ceiling: one monitor beat, "
+            f"{DEFAULT_MONITOR_INTERVAL_NS:.0f} ns)"
+        )
+    if monitoring["incidents"] < 1 or not monitoring["timeline_coherent"]:
+        raise SystemExit(
+            "device kill produced no coherent incident bundle "
+            "(kill <= detect ordering missing from every timeline)"
         )
     return payload
 

@@ -287,6 +287,12 @@ class ClusterRuntime:
         #: Armed FaultInjector, or None — the healthy-cluster default, in
         #: which every fault hook below short-circuits.
         self.faults = None
+        #: Always-on monitoring attachments (see ``repro.obs``): a
+        #: FlightRecorder and an IncidentReporter, or None when
+        #: monitoring is off.  Hot paths guard with one attribute check,
+        #: the same discipline as ``self.faults``.
+        self.recorder = None
+        self.incidents = None
         self._kernels: dict[int, list[int]] = {}
         self._serialize_per_device: dict[int, bool] = {}
         #: source -> assembled program: serving loops re-register the same
@@ -473,6 +479,8 @@ class ClusterRuntime:
                 if handle.finished:
                     return
                 self.stats.add("fault.launch_timeouts")
+                if self.recorder is not None:
+                    self.recorder.record("fault.timeout", deadline)
                 handle._fail(deadline, LaunchFailed(
                     f"cluster launch still pending "
                     f"{self.launch_timeout_ns:g} ns after issue",
@@ -513,6 +521,9 @@ class ClusterRuntime:
         )
         self.scheduler.note_issued(sub.device)
         self.stats.add("cluster.sub_launches")
+        if self.recorder is not None:
+            self.recorder.record("sched.issue", ready, device=sub.device,
+                                 base=sub.base, bound=sub.bound)
         sub_span = None
         if tracer is not None:
             tracer.record("cxl.fanout", pre_fanout, ready,

@@ -26,6 +26,7 @@ from repro.experiments.fig15 import run_fig15_gpu, run_fig15_olap
 from repro.experiments.resilience import (
     run_resilience,
     run_resilience_hedged,
+    run_resilience_monitoring,
 )
 from repro.experiments.scaling import run_policy_matrix, run_scaling
 from repro.experiments.serving import run_serving, run_serving_autoscale
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "instr-savings": static_instruction_savings,
     "resilience": run_resilience,
     "resilience-hedged": run_resilience_hedged,
+    "resilience-monitoring": run_resilience_monitoring,
     "scaling": run_scaling,
     "scaling-policies": run_policy_matrix,
     "serving": run_serving,

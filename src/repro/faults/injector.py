@@ -95,12 +95,20 @@ class FaultInjector:
         if obs_tracer.ENABLED:
             obs_tracer.tracer_of(self.runtime.sim).instant(name, when, **args)
 
+    def _record(self, kind: str, when: float, device: int | None = None,
+                **detail) -> None:
+        """Land the event in the always-on flight recorder, if armed."""
+        recorder = self.runtime.recorder
+        if recorder is not None:
+            recorder.record(kind, when, device=device, **detail)
+
     def _on_device_fail(self, event: FaultEvent) -> None:
         now = self.runtime.sim.now
         device = event.device
         self._killed[device] = True
         self.stats.add("fault.device_kills")
         self._instant("fault.kill", now, pid=1 + device, device=device)
+        self._record("fault.kill", now, device=device)
         # the host notices at the next heartbeat boundary after the death
         beats = int((now - self.epoch_ns) // self.heartbeat_ns) + 1
         detect_at = self.epoch_ns + beats * self.heartbeat_ns
@@ -117,10 +125,14 @@ class FaultInjector:
         self.health.mark(device, DEGRADED, now)
         self._instant("fault.stall", now, pid=1 + device, device=device,
                       duration_ns=event.duration_ns)
+        self._record("fault.stall", now, device=device,
+                     duration_ns=event.duration_ns)
 
         def recover(d=device, u=until) -> None:
             if self._stall_until[d] <= u:
-                self.health.mark(d, UP, self.runtime.sim.now)
+                now_ns = self.runtime.sim.now
+                self.health.mark(d, UP, now_ns)
+                self._record("recovery.device_up", now_ns, device=d)
 
         self.runtime.sim.schedule_at(until, recover)
 
@@ -136,9 +148,13 @@ class FaultInjector:
             link.start_flap(until, event.extra_ns)
         self._instant("fault.link_flap", now, pid=1 + device, device=device,
                       duration_ns=event.duration_ns)
+        self._record("fault.link_flap", now, device=device,
+                     duration_ns=event.duration_ns)
 
         def recover(d=device) -> None:
-            self.health.mark(d, UP, self.runtime.sim.now)
+            now_ns = self.runtime.sim.now
+            self.health.mark(d, UP, now_ns)
+            self._record("recovery.device_up", now_ns, device=d)
 
         self.runtime.sim.schedule_at(until, recover)
 
@@ -147,6 +163,8 @@ class FaultInjector:
         self._poison.append((event.base, event.size))
         self.stats.add("fault.poison_ranges")
         self._instant("fault.poison", now, base=event.base, size=event.size)
+        self._record("fault.poison", now, device=event.device,
+                     base=event.base, size=event.size)
 
     # ------------------------------------------------------------------
     # detection & recovery
@@ -161,6 +179,7 @@ class FaultInjector:
         self.health.mark(device, DOWN, now)
         self.runtime.scheduler.set_routable(device, False)
         self._instant("fault.detect", now, pid=1 + device, device=device)
+        self._record("fault.detect", now, device=device)
         # fail every in-flight sub-launch stranded on the dead device
         stranded = list(self._live[device].values())
         self._live[device].clear()
@@ -172,6 +191,8 @@ class FaultInjector:
                 device=device, reason="device_failure",
             ))
         self._recover_shards(device, now)
+        if self.runtime.incidents is not None:
+            self.runtime.incidents.on_fault_detected(device, now)
 
     def _recover_shards(self, device: int, now: float) -> None:
         """Fail over / re-materialize every allocation the device owned."""
@@ -182,6 +203,8 @@ class FaultInjector:
             if shard.placement == "replicated":
                 # any survivor already holds the bytes: immediate failover
                 self.stats.add("recovery.failovers")
+                self._record("recovery.failover", now, device=device,
+                             survivor=survivor)
                 continue
             moved = shard.fail_over(device, survivor)
             if not moved:
@@ -191,6 +214,8 @@ class FaultInjector:
             done = self.runtime.switch.host_to_device(now, survivor, moved)
             self.stats.add("recovery.remapped_shards")
             self.stats.add("recovery.recopy_bytes", moved)
+            self._record("recovery.remap", now, device=device,
+                         survivor=survivor, bytes=moved, done_ns=done)
             if tracer is not None:
                 tracer.record("recovery.recopy", now, done,
                               pid=1 + survivor, device=survivor,

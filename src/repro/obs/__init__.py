@@ -15,6 +15,12 @@ model).  Off by default — set ``REPRO_TRACE=1`` (or call
 
 Then ``python -m repro.obs.report run.trace.json`` for the bottleneck
 breakdown, or load the trace in https://ui.perfetto.dev.
+
+Always-on monitoring lives beside tracing: ``repro.obs.monitor`` (SLO
+burn-rate alerting), ``repro.obs.recorder`` (flight-recorder ring) and
+``repro.obs.incidents`` (incident bundles; also the
+``python -m repro.obs.incidents`` renderer — imported directly, not
+re-exported here, so running it as a module stays warning-free).
 """
 
 from repro.obs.export import (
@@ -22,6 +28,18 @@ from repro.obs.export import (
     to_chrome_trace,
     write_manifest,
     write_trace,
+)
+from repro.obs.monitor import (
+    Alert,
+    SLOMonitor,
+    SLObjective,
+    default_objectives,
+    resolve_monitoring,
+)
+from repro.obs.recorder import (
+    EventRecord,
+    FlightRecorder,
+    resolve_recorder_capacity,
 )
 from repro.obs.timeline import UtilizationSampler
 from repro.obs.tracer import (
@@ -35,12 +53,20 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Alert",
+    "EventRecord",
+    "FlightRecorder",
     "HOST_PID",
     "NULL_TRACER",
+    "SLOMonitor",
+    "SLObjective",
     "Span",
     "Tracer",
     "UtilizationSampler",
+    "default_objectives",
     "enabled",
+    "resolve_monitoring",
+    "resolve_recorder_capacity",
     "run_manifest",
     "set_enabled",
     "to_chrome_trace",

@@ -1,0 +1,367 @@
+"""SLO monitor: multi-window burn-rate alerting over sim-time windows.
+
+The Google-SRE alerting pattern, scaled to simulated time: each tenant
+has an :class:`SLObjective` (attainment floor + p99 ceiling), the floor
+implies an *error budget* (``1 - floor``), and the monitor watches the
+rate at which the budget is being spent over two sliding windows — a
+fast one that makes alerts prompt and a slow one that makes them
+stick — firing only when **both** exceed the burn threshold.  A short
+blip inside an otherwise healthy hour spends little budget and stays
+quiet; a sustained failure trips both windows within one heartbeat of
+the fast window filling.
+
+Everything is driven from :meth:`~repro.sim.stats.StatsRegistry.
+timeline` counter deltas and the per-tenant latency distributions the
+serving tier already streams — the monitor only *reads*, so enabling it
+cannot change workload results, and it never touches the wall clock, so
+the alert stream is byte-identical across identical runs.
+
+The production 5-minute/1-hour windows of the SRE book map to
+5 µs / 60 µs here (``DEFAULT_FAST_WINDOW_NS`` / ``_SLOW_WINDOW_NS``,
+the same 1:12 ratio) because the serving runs themselves span tens of
+microseconds of simulated time; both are constructor arguments.
+
+Availability alerting rides the :class:`~repro.obs.recorder.
+FlightRecorder`: fault *detections* and degradations recorded by the
+injector surface as typed ``device_down`` / ``device_degraded`` /
+``poison`` alerts on the next monitor beat, so a kill alerts even when
+retries keep the burn rate under threshold.
+
+Knobs: ``REPRO_MONITOR`` (0/1, default 1 — always-on) gates the whole
+monitoring stack at the serving engine; ``REPRO_MONITOR_BURN`` (float
+> 0, default 2.0) sets the default burn threshold baked into
+:func:`default_objectives`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.stats import StatsRegistry, percentile
+
+#: Sliding-window spans (simulated ns).  The SRE fast/slow pair at the
+#: simulator's microsecond scale; ratio 1:12 like 5 min : 1 h.
+DEFAULT_FAST_WINDOW_NS = 5_000.0
+DEFAULT_SLOW_WINDOW_NS = 60_000.0
+
+#: Default burn threshold: budget spent at >= 2x the sustainable rate.
+DEFAULT_BURN_THRESHOLD = 2.0
+
+#: Default monitor evaluation cadence (matches the fault injector's
+#: heartbeat, so an alert lands at most one beat after a detection).
+DEFAULT_MONITOR_INTERVAL_NS = 5_000.0
+
+#: Recorder event kind -> (alert kind, severity) for availability alerts.
+_FAULT_ALERTS = {
+    "fault.detect": ("device_down", "page"),
+    "fault.stall": ("device_degraded", "ticket"),
+    "fault.link_flap": ("device_degraded", "ticket"),
+    "fault.poison": ("poison", "page"),
+}
+
+
+def resolve_monitoring(explicit: bool | None) -> bool:
+    """Explicit argument > REPRO_MONITOR env > default (on)."""
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("REPRO_MONITOR", "1")
+    if raw not in ("0", "1"):
+        raise ConfigError(
+            f"REPRO_MONITOR must be '0' or '1', got {raw!r} "
+            f"(from REPRO_MONITOR environment variable)"
+        )
+    return raw == "1"
+
+
+def resolve_burn_threshold(explicit: float | None) -> float:
+    """Explicit argument > REPRO_MONITOR_BURN env > default (2.0)."""
+    def check(value: float, source: str) -> float:
+        if not math.isfinite(value) or value <= 0:
+            raise ConfigError(
+                f"burn threshold must be finite and > 0 (from {source}), "
+                f"got {value}"
+            )
+        return value
+
+    if explicit is not None:
+        return check(float(explicit), "burn_threshold argument")
+    env = os.environ.get("REPRO_MONITOR_BURN")
+    if env is not None:
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_MONITOR_BURN must be a number, got {env!r}"
+            ) from None
+        return check(value, "REPRO_MONITOR_BURN environment variable")
+    return DEFAULT_BURN_THRESHOLD
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """Per-tenant service-level objective.
+
+    ``attainment_floor`` is the promised fraction of requests served
+    within SLO; its complement is the error budget the burn rate is
+    measured against.  ``p99_ceiling_ns`` adds a latency objective
+    (infinite by default: attainment-only).
+    """
+
+    attainment_floor: float = 0.9
+    p99_ceiling_ns: float = math.inf
+    burn_threshold: float = DEFAULT_BURN_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.attainment_floor < 1.0:
+            raise ConfigError(
+                f"attainment_floor must be in [0, 1), got "
+                f"{self.attainment_floor} (a floor of 1.0 leaves no "
+                f"error budget to burn)"
+            )
+        if self.p99_ceiling_ns <= 0:
+            raise ConfigError(
+                f"p99_ceiling_ns must be positive, got {self.p99_ceiling_ns}"
+            )
+        if not math.isfinite(self.burn_threshold) or self.burn_threshold <= 0:
+            raise ConfigError(
+                f"burn_threshold must be finite and > 0, got "
+                f"{self.burn_threshold}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.attainment_floor
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One typed alert event, timestamped in simulated ns."""
+
+    kind: str                     # burn_rate | p99 | device_down | ...
+    at_ns: float
+    severity: str                 # page | ticket
+    tenant: str | None = None
+    device: int | None = None
+    fast_burn: float = 0.0
+    slow_burn: float = 0.0
+    value: float = 0.0
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        row = {"kind": self.kind, "at_ns": self.at_ns,
+               "severity": self.severity}
+        if self.tenant is not None:
+            row["tenant"] = self.tenant
+        if self.device is not None:
+            row["device"] = self.device
+        if self.kind == "burn_rate":
+            row["fast_burn"] = self.fast_burn
+            row["slow_burn"] = self.slow_burn
+        if self.value:
+            row["value"] = self.value
+        if self.detail:
+            row["detail"] = self.detail
+        return row
+
+
+class _Window:
+    """One closed evaluation window: counter deltas + new latency samples."""
+
+    __slots__ = ("start_ns", "end_ns", "deltas", "samples")
+
+    def __init__(self, start_ns: float, end_ns: float, deltas: dict,
+                 samples: dict) -> None:
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.deltas = deltas
+        self.samples = samples
+
+
+class SLOMonitor:
+    """Evaluates per-tenant objectives on a sim-time heartbeat.
+
+    Call :meth:`evaluate` at each beat; it closes a timeline window,
+    slides the fast/slow horizons over the retained windows and returns
+    the alerts that *newly fired* this beat (state transitions, not
+    levels — an incident pages once, not every heartbeat it persists).
+    The full history stays on :attr:`alerts` / :attr:`clears`.
+    """
+
+    def __init__(self, registry: StatsRegistry,
+                 objectives: dict[str, SLObjective], *,
+                 fast_window_ns: float = DEFAULT_FAST_WINDOW_NS,
+                 slow_window_ns: float = DEFAULT_SLOW_WINDOW_NS,
+                 recorder=None, start_ns: float = 0.0) -> None:
+        if fast_window_ns <= 0 or slow_window_ns <= 0:
+            raise ConfigError("monitor windows must be positive")
+        if fast_window_ns > slow_window_ns:
+            raise ConfigError(
+                f"fast window ({fast_window_ns} ns) must not exceed the "
+                f"slow window ({slow_window_ns} ns)"
+            )
+        self.registry = registry
+        self.objectives = dict(objectives)
+        self.fast_window_ns = float(fast_window_ns)
+        self.slow_window_ns = float(slow_window_ns)
+        self.recorder = recorder
+        self._timeline = registry.timeline("serve.", start_ns=start_ns)
+        self._windows: list[_Window] = []
+        #: Per-tenant watermark into the latency distribution's samples.
+        self._lat_seen: dict[str, int] = {t: 0 for t in objectives}
+        #: Recorder sequence watermark (fault events already alerted).
+        self._rec_seen = 0
+        #: (kind, tenant) -> active, for transition-edge alerting.
+        self._active: dict[tuple[str, str], bool] = {}
+        self._state: dict[str, tuple[float, float, bool]] = {}
+        self.alerts: list[Alert] = []
+        self.clears: list[tuple[str, str, float]] = []
+
+    # ------------------------------------------------------------------
+
+    def burn_state(self, tenant: str) -> tuple[float, float, bool]:
+        """(fast_burn, slow_burn, active) as of the last evaluate."""
+        return self._state.get(tenant, (0.0, 0.0, False))
+
+    def _horizon_deltas(self, tenant: str, horizon_ns: float,
+                        now_ns: float) -> dict[str, float]:
+        """Summed counter deltas for one tenant over the trailing horizon.
+
+        The horizon slides at window granularity: a window overlapping
+        the horizon start counts whole, so the effective span is at most
+        one beat longer than nominal — the standard rollup compromise.
+        """
+        lo = now_ns - horizon_ns
+        prefix = f"serve.{tenant}."
+        total: dict[str, float] = {}
+        for window in self._windows:
+            if window.end_ns <= lo:
+                continue
+            for key, value in window.deltas.items():
+                if key.startswith(prefix):
+                    short = key[len(prefix):]
+                    total[short] = total.get(short, 0.0) + value
+        return total
+
+    @staticmethod
+    def _burn_of(deltas: dict[str, float], budget: float) -> float:
+        """Budget-spend rate from terminal-outcome deltas.
+
+        ``bad / total`` is the fraction of terminal outcomes that broke
+        the SLO promise (violations, failures, expiries and sheds all
+        count — they are all broken promises); dividing by the error
+        budget normalizes so 1.0 means "spending exactly the sustainable
+        rate".
+        """
+        served = deltas.get("served", 0.0)
+        bad = (deltas.get("slo_violations", 0.0)
+               + deltas.get("failed", 0.0)
+               + deltas.get("expired", 0.0)
+               + deltas.get("shed_rate_limit", 0.0)
+               + deltas.get("shed_queue_full", 0.0))
+        total = served + bad - deltas.get("slo_violations", 0.0)
+        if total <= 0:
+            return 0.0
+        fraction = bad / total
+        if budget <= 0:
+            return math.inf if fraction > 0 else 0.0
+        return fraction / budget
+
+    def _horizon_samples(self, tenant: str, horizon_ns: float,
+                         now_ns: float) -> list[float]:
+        lo = now_ns - horizon_ns
+        samples: list[float] = []
+        for window in self._windows:
+            if window.end_ns <= lo:
+                continue
+            samples.extend(window.samples.get(tenant, ()))
+        return samples
+
+    def _transition(self, kind: str, tenant: str, active: bool,
+                    now_ns: float, fired: list[Alert],
+                    make: "callable") -> None:
+        key = (kind, tenant)
+        was = self._active.get(key, False)
+        if active and not was:
+            alert = make()
+            self.alerts.append(alert)
+            fired.append(alert)
+        elif was and not active:
+            self.clears.append((kind, tenant, now_ns))
+        self._active[key] = active
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, now_ns: float) -> list[Alert]:
+        """Close a window at ``now_ns`` and return newly-fired alerts."""
+        window = self._timeline.mark(now_ns)
+        samples: dict[str, list[float]] = {}
+        for tenant in self.objectives:
+            name = f"serve.{tenant}.latency_ns"
+            try:
+                dist = self.registry.distribution(name)
+            except KeyError:
+                continue
+            seen = self._lat_seen[tenant]
+            if dist.count > seen:
+                samples[tenant] = dist.samples[seen:]
+                self._lat_seen[tenant] = dist.count
+        self._windows.append(_Window(window.start_ns, window.end_ns,
+                                     window.deltas, samples))
+        horizon_lo = now_ns - self.slow_window_ns
+        while self._windows and self._windows[0].end_ns <= horizon_lo:
+            self._windows.pop(0)
+
+        fired: list[Alert] = []
+        for tenant, objective in self.objectives.items():
+            fast = self._burn_of(
+                self._horizon_deltas(tenant, self.fast_window_ns, now_ns),
+                objective.error_budget)
+            slow = self._burn_of(
+                self._horizon_deltas(tenant, self.slow_window_ns, now_ns),
+                objective.error_budget)
+            threshold = objective.burn_threshold
+            active = fast >= threshold and slow >= threshold
+            self._state[tenant] = (fast, slow, active)
+            self._transition(
+                "burn_rate", tenant, active, now_ns, fired,
+                lambda t=tenant, f=fast, s=slow: Alert(
+                    "burn_rate", now_ns, "page", tenant=t,
+                    fast_burn=f, slow_burn=s,
+                    detail=f"error budget burning at {f:.2f}x (fast) / "
+                           f"{s:.2f}x (slow)"))
+            if math.isfinite(objective.p99_ceiling_ns):
+                window_samples = self._horizon_samples(
+                    tenant, self.fast_window_ns, now_ns)
+                p99 = (percentile(window_samples, 99.0)
+                       if window_samples else 0.0)
+                self._transition(
+                    "p99", tenant, p99 > objective.p99_ceiling_ns,
+                    now_ns, fired,
+                    lambda t=tenant, v=p99: Alert(
+                        "p99", now_ns, "ticket", tenant=t, value=v,
+                        detail=f"windowed p99 {v:.0f} ns over ceiling "
+                               f"{objective.p99_ceiling_ns:.0f} ns"))
+
+        if self.recorder is not None:
+            for record in self.recorder.events(
+                    kinds=tuple(_FAULT_ALERTS), since_seq=self._rec_seen):
+                kind, severity = _FAULT_ALERTS[record.kind]
+                alert = Alert(kind, now_ns, severity, device=record.device,
+                              value=record.t_ns,
+                              detail=f"{record.kind} at {record.t_ns:.0f} ns")
+                self.alerts.append(alert)
+                fired.append(alert)
+            self._rec_seen = self.recorder.next_seq
+        return fired
+
+
+def default_objectives(tenant_names, *,
+                       burn_threshold: float | None = None
+                       ) -> dict[str, SLObjective]:
+    """One default objective per tenant (attainment-only, env threshold)."""
+    threshold = resolve_burn_threshold(burn_threshold)
+    return {name: SLObjective(burn_threshold=threshold)
+            for name in tenant_names}

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from dataclasses import dataclass, field
 
 
@@ -126,6 +127,34 @@ def build_report(roots: list[ReportSpan], top: int = 5) -> dict:
     }
 
 
+def report_to_json(report: dict) -> dict:
+    """The report as plain JSON-ready data (``--format json``).
+
+    ``slowest`` holds :class:`ReportSpan` trees; they serialize as the
+    root's identity plus a flattened per-stage chain, which is what CI
+    consumers diff and threshold on.
+    """
+    slowest = []
+    for root in report["slowest"]:
+        chain = [
+            {"name": span.name, "duration_us": span.duration_us,
+             "self_us": span.self_us}
+            for span in root.walk() if span is not root
+        ]
+        slowest.append({
+            "tenant": str(root.args.get("tenant", "?")),
+            "index": root.args.get("index"),
+            "duration_us": root.duration_us,
+            "chain": chain,
+        })
+    return {
+        "stages": report["stages"],
+        "critical_us": report["critical_us"],
+        "tenants": report["tenants"],
+        "slowest": slowest,
+    }
+
+
 def render(report: dict) -> str:
     lines = ["self-time by stage:"]
     lines.append(f"  {'stage':<24} {'count':>6} {'total us':>12} "
@@ -182,13 +211,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("trace", help="Chrome trace-event JSON file")
     parser.add_argument("--top", type=int, default=5,
                         help="slowest requests to expand (default 5)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (json for CI consumers)")
     args = parser.parse_args(argv)
-    with open(args.trace) as fh:
-        payload = json.load(fh)
-    events = payload["traceEvents"] if isinstance(payload, dict) else payload
-    roots = parse_events(events)
     try:
-        print(render(build_report(roots, top=args.top)))
+        with open(args.trace) as fh:
+            payload = json.load(fh)
+        events = (payload["traceEvents"] if isinstance(payload, dict)
+                  else payload)
+        if not isinstance(events, list):
+            raise ValueError("traceEvents is not a list")
+        roots = parse_events(events)
+        report = build_report(roots, top=args.top)
+        rendered = (json.dumps(report_to_json(report), indent=2,
+                               sort_keys=True)
+                    if args.format == "json" else render(report))
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        # malformed trace input: nonzero exit so CI notices, one clean
+        # line on stderr instead of a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(rendered)
     except BrokenPipeError:  # e.g. piped into head
         return 0
     return 0

@@ -50,6 +50,10 @@ class UtilizationSampler:
         for i, (device, timeline) in enumerate(
                 zip(self.devices, self._timelines)):
             if now_ns <= self._last_ns[i]:
+                # zero-length (or rewound) window: nothing accumulated,
+                # and the ratio math below would divide by a zero span —
+                # skip rather than raise, re-marking the same instant is
+                # a legitimate caller pattern (final tick == finish)
                 continue
             window = timeline.mark(now_ns)
             span = window.span_ns
@@ -71,12 +75,12 @@ class UtilizationSampler:
                         self._last_ns[i], now_ns)
             occupancy /= max(len(device.units), 1)
 
+            peak = span * device.dram.peak_bw_bytes_per_ns
             rows = (
                 ("subcore.occupancy", occupancy),
                 ("l2.hit_rate", hits / accesses if accesses else 0.0),
-                ("dram.busy", min(
-                    dram_bytes / (span * device.dram.peak_bw_bytes_per_ns),
-                    1.0) if span > 0 else 0.0),
+                ("dram.busy", min(dram_bytes / peak, 1.0) if peak > 0
+                 else 0.0),
                 ("link.gbps", link_bytes / span if span > 0 else 0.0),
             )
             for name, value in rows:

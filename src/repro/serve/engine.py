@@ -39,6 +39,14 @@ from repro.cluster.runtime import ClusterPlatform
 from repro.errors import ConfigError, DeviceUnavailable, PoisonError
 from repro.faults.health import DRAINING, UP
 from repro.obs import tracer as obs_tracer
+from repro.obs.incidents import IncidentReporter
+from repro.obs.monitor import (
+    DEFAULT_MONITOR_INTERVAL_NS,
+    SLOMonitor,
+    default_objectives,
+    resolve_monitoring,
+)
+from repro.obs.recorder import FlightRecorder
 from repro.obs.timeline import UtilizationSampler
 from repro.serve.admission import ADMIT, AdmissionController
 from repro.serve.arrivals import make_arrival_process, stream_rng
@@ -133,6 +141,11 @@ class ServingEngine:
         inflight_per_device: int = DEFAULT_INFLIGHT_PER_DEVICE,
         starvation_ns: float | None = None,
         stats_window_ns: float | None = None,
+        monitoring: bool | None = None,
+        objectives: dict | None = None,
+        incident_dir: str | None = None,
+        recorder_capacity: int | None = None,
+        monitor_interval_ns: float | None = None,
     ) -> None:
         if not tenants:
             raise ConfigError("serving engine needs at least one tenant")
@@ -180,6 +193,41 @@ class ServingEngine:
         # tenant states must be built before arrivals are scheduled.
         self.tenants = {spec.name: _TenantState(platform, spec, seed)
                         for spec in tenants}
+
+        # Always-on monitoring stack (REPRO_MONITOR=0 disables it, and
+        # then *nothing* below exists: no recorder appends, no monitor
+        # beats — byte-identical to the unmonitored engine).  The
+        # monitor only reads counters, so enabling it never changes
+        # workload results.
+        if monitor_interval_ns is not None and monitor_interval_ns <= 0:
+            raise ConfigError("monitor_interval_ns must be positive")
+        self._monitor_interval = (monitor_interval_ns
+                                  if monitor_interval_ns is not None
+                                  else DEFAULT_MONITOR_INTERVAL_NS)
+        self._monitor_scheduled = False
+        self.monitoring = resolve_monitoring(monitoring)
+        self.recorder: FlightRecorder | None = None
+        self.monitor: SLOMonitor | None = None
+        self.reporter: IncidentReporter | None = None
+        if self.monitoring:
+            self.recorder = FlightRecorder(recorder_capacity)
+            slos = default_objectives([spec.name for spec in tenants])
+            if objectives:
+                unknown = set(objectives) - set(slos)
+                if unknown:
+                    raise ConfigError(
+                        f"objectives for unknown tenants: {sorted(unknown)}"
+                    )
+                slos.update(objectives)
+            self.monitor = SLOMonitor(self.runtime.stats, slos,
+                                      recorder=self.recorder,
+                                      start_ns=self.sim.now)
+            self.reporter = IncidentReporter(
+                self.runtime, self.recorder, monitor=self.monitor,
+                out_dir=incident_dir,
+            )
+            self.runtime.recorder = self.recorder
+            self.runtime.incidents = self.reporter
 
         self._seq = 0                 # global admission order
         self._inflight = 0
@@ -348,6 +396,9 @@ class ServingEngine:
             self.scheduler.charge(tenant, float(batch.size))
             plan = state.workload.plan(batch.requests)
             self.stats.launched(tenant, batch.size)
+            if self.recorder is not None:
+                self.recorder.record("serve.launch", now, tenant=tenant,
+                                     batch=batch.size)
             self._charge_busy(now)
             self._inflight += 1
             launch_span = None
@@ -531,12 +582,22 @@ class ServingEngine:
                     fire = candidate
             if fire is None:
                 self.stats.failed(spec.name)
+                if self.recorder is not None:
+                    self.recorder.record("serve.failed", when,
+                                         tenant=spec.name,
+                                         index=request.index,
+                                         cause=type(failure).__name__)
                 if tracer is not None:
                     tracer.end(request.trace_root, when, outcome="failed")
                 self._feedback(state, when)
                 continue
             request.attempts += 1
             self.stats.retried(spec.name)
+            if self.recorder is not None:
+                self.recorder.record("serve.retry", when, tenant=spec.name,
+                                     index=request.index,
+                                     attempt=request.attempts,
+                                     cause=type(failure).__name__)
             if tracer is not None:
                 tracer.instant(
                     "serve.retry", when, parent=request.trace_root,
@@ -544,6 +605,9 @@ class ServingEngine:
                     cause=type(failure).__name__)
             self.sim.schedule_at(fire,
                                  (lambda r=request: self._requeue(r)))
+        if self.reporter is not None:
+            self.reporter.on_launch_failed(failure, when, tenant=spec.name,
+                                           requests=len(requests))
 
     def _requeue(self, request: Request) -> None:
         """Put a retried request back in its tenant's queue (EDF keeps
@@ -660,6 +724,7 @@ class ServingEngine:
         self.sim.schedule_at(flush_at, flush)
 
     def _ensure_tick(self) -> None:
+        self._ensure_monitor()
         if self._tick_scheduled:
             return
         self._tick_scheduled = True
@@ -690,6 +755,36 @@ class ServingEngine:
         self._pump()
 
     # ------------------------------------------------------------------
+    # monitoring heartbeat (read-only: cannot change workload results)
+    # ------------------------------------------------------------------
+
+    def _ensure_monitor(self) -> None:
+        if self.monitor is None or self._monitor_scheduled:
+            return
+        self._monitor_scheduled = True
+        self.sim.schedule(self._monitor_interval, self._monitor_beat)
+
+    def _monitor_beat(self) -> None:
+        now = self.sim.now
+        self._monitor_scheduled = False
+        self._evaluate_monitor(now)
+        # re-arm on the tick chain's liveness condition: beats continue
+        # exactly while work remains, then the chain lapses so the run
+        # drains on schedule
+        if self.queue.total or self._inflight or any(
+                s.more_arrivals for s in self.tenants.values()):
+            self._ensure_monitor()
+
+    def _evaluate_monitor(self, now: float) -> None:
+        for alert in self.monitor.evaluate(now):
+            # the alert lands in the ring first so the bundle the
+            # reporter snapshots already shows it in the timeline
+            self.recorder.record("alert", now, device=alert.device,
+                                 tenant=alert.tenant, alert=alert.kind,
+                                 severity=alert.severity)
+            self.reporter.on_alert(alert, now)
+
+    # ------------------------------------------------------------------
     # wrap-up
     # ------------------------------------------------------------------
 
@@ -702,6 +797,11 @@ class ServingEngine:
         self.stats.mark_window(now)
         if self._util is not None:
             self._util.mark(now)
+        if self.monitor is not None:
+            # close the monitor's final window so tail outcomes (the
+            # last completions, a detection on the run's final beat)
+            # still alert before the report is built
+            self._evaluate_monitor(now)
         cluster_stats = self.platform.stats
         reports = []
         for state in self.tenants.values():

@@ -105,7 +105,14 @@ class TenantReport:
         """
         cached = self._summary_cache
         if cached is None or cached[0] != self.latencies.count:
-            p50, p95, p99 = self.latencies.percentiles((50.0, 95.0, 99.0))
+            if self.latencies.count:
+                p50, p95, p99 = self.latencies.percentiles(
+                    (50.0, 95.0, 99.0))
+            else:
+                # a tenant that served nothing (all shed, all failed, or
+                # simply zero requests) reports zero latency, not a
+                # ValueError out of an empty percentile
+                p50 = p95 = p99 = 0.0
             cached = (self.latencies.count, (p50, p95, p99))
             self._summary_cache = cached
         return cached[1]
@@ -302,15 +309,16 @@ class ServingReport:
 
     @property
     def p50_ns(self) -> float:
-        return self.aggregate.percentile(50.0)
+        return self.aggregate.percentile(50.0) if self.aggregate.count \
+            else 0.0
 
     @property
     def p95_ns(self) -> float:
-        return self.aggregate.p95
+        return self.aggregate.p95 if self.aggregate.count else 0.0
 
     @property
     def p99_ns(self) -> float:
-        return self.aggregate.p99
+        return self.aggregate.p99 if self.aggregate.count else 0.0
 
     def tenant(self, name: str) -> TenantReport:
         for report in self.tenants:

@@ -1,0 +1,71 @@
+"""Report CLI: --format json output and nonzero exit on malformed traces."""
+
+import json
+
+from repro.obs.report import main as report_main
+
+
+def _trace(tmp_path, events):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({"traceEvents": events}))
+    return str(path)
+
+
+def _request(ts, dur, tenant="scan", index=0, tid=1):
+    return [
+        {"ph": "B", "ts": ts, "pid": 1, "tid": tid, "name": "serve.request",
+         "args": {"tenant": tenant, "index": index}},
+        {"ph": "B", "ts": ts, "pid": 1, "tid": tid, "name": "serve.launch"},
+        {"ph": "E", "ts": ts + dur * 0.8, "pid": 1, "tid": tid},
+        {"ph": "E", "ts": ts + dur, "pid": 1, "tid": tid},
+    ]
+
+
+class TestJsonFormat:
+    def test_json_output_parses_and_matches_trace(self, tmp_path, capsys):
+        events = _request(0.0, 10.0, index=0) + _request(20.0, 4.0, index=1)
+        assert report_main([_trace(tmp_path, events),
+                            "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stages"]["serve.request"]["count"] == 2
+        assert payload["critical_us"] == 14.0
+        assert payload["tenants"]["scan"]["count"] == 2
+        slowest = payload["slowest"]
+        assert [row["index"] for row in slowest] == [0, 1]
+        assert slowest[0]["duration_us"] == 10.0
+        assert slowest[0]["chain"][0]["name"] == "serve.launch"
+
+    def test_text_format_still_default(self, tmp_path, capsys):
+        assert report_main([_trace(tmp_path, _request(0.0, 5.0))]) == 0
+        out = capsys.readouterr().out
+        assert "self-time by stage" in out
+
+
+class TestMalformedInput:
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text("{oops")
+        assert report_main([str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_list_trace_events_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": {"ph": "B"}}))
+        assert report_main([str(path)]) == 2
+        assert "not a list" in capsys.readouterr().err
+
+    def test_unbalanced_spans_exit_2(self, tmp_path, capsys):
+        events = [{"ph": "B", "ts": 0.0, "pid": 1, "tid": 1,
+                   "name": "serve.request", "args": {}}]
+        assert report_main([_trace(tmp_path, events)]) == 2
+        assert "unclosed" in capsys.readouterr().err
+
+    def test_json_format_also_fails_closed(self, tmp_path, capsys):
+        events = [{"ph": "E", "ts": 1.0, "pid": 1, "tid": 1}]
+        assert report_main([_trace(tmp_path, events),
+                            "--format", "json"]) == 2
+        assert "empty stack" in capsys.readouterr().err
