@@ -49,6 +49,8 @@ TRACKED_FIELDS = (
     "resilience_point.wall_seconds",
     "monitoring_point.off_wall_seconds",
     "monitoring_point.on_wall_seconds",
+    "partition_point.isolation_wall_seconds",
+    "partition_point.containment_wall_seconds",
 )
 
 #: Dotted paths that must be exactly zero in the fresh run: interpreter

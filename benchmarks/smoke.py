@@ -44,6 +44,11 @@ from repro.obs.incidents import grade_against_plan
 from repro.obs.monitor import DEFAULT_MONITOR_INTERVAL_NS
 from repro.cluster.driver import StreamSpec, TrafficDriver
 from repro.experiments.fig05 import run_fig5
+from repro.experiments.partitioning import (
+    PARTITION_SPEC,
+    run_partitioning,
+    run_partitioning_containment,
+)
 from repro.host.api import pack_args
 from repro.kernels.vecadd import VECADD
 from repro.faults import FaultEvent, FaultPlan
@@ -548,6 +553,7 @@ def bench_obs_point() -> dict:
         obs.write_manifest(
             "serving.manifest.json", tracer=tracer, stats=plat.stats,
             config=plat.system, seed=plat.runtime.cluster_config.seed,
+            partitions=plat.runtime.partitions,
             extra={
                 "experiment": "smoke_serving_traced",
                 "served": report_on.served,
@@ -616,6 +622,37 @@ def bench_monitoring_point() -> dict:
     }
 
 
+def bench_partition_point() -> dict:
+    """Hardware partitioning: noisy-neighbour isolation + blast radius.
+
+    Two sweeps on the same seeds: shared vs partitioned serving under an
+    adversarial batch tenant (the partitioned interactive p99 must stay
+    within 10% of its solo run while the shared one degrades), then a
+    partition-scoped kill of the adversary's partition (the interactive
+    tenant must come through byte-identical, every fault alerted, and
+    the blast radius confined to the killed partition).
+    """
+    start = time.perf_counter()
+    isolation = run_partitioning()
+    isolation_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    containment = run_partitioning_containment()
+    containment_wall = time.perf_counter() - start
+    modes = {row["mode"]: row for row in isolation.rows}
+    chaos = containment.rows[0]
+    return {
+        "spec": PARTITION_SPEC,
+        "wall_seconds": isolation_wall + containment_wall,
+        "isolation_wall_seconds": isolation_wall,
+        "containment_wall_seconds": containment_wall,
+        "shared": modes["shared"],
+        "partitioned": modes["partitioned"],
+        "containment": chaos,
+        "shared_penalty": modes["shared"]["rt_p99_vs_solo"],
+        "partitioned_penalty": modes["partitioned"]["rt_p99_vs_solo"],
+    }
+
+
 def main(out_path: str = "BENCH_smoke.json") -> dict:
     payload = {
         "python": platform_mod.python_version(),
@@ -629,6 +666,7 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         "resilience_point": bench_resilience_point(),
         "tracing_point": bench_obs_point(),
         "monitoring_point": bench_monitoring_point(),
+        "partition_point": bench_partition_point(),
     }
     point = payload["fig10a_point"]
     with open(out_path, "w") as fh:
@@ -707,6 +745,15 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
           f"{monitoring['mean_mttd_ns']:.0f} ns, "
           f"{monitoring['incidents']} incidents, "
           f"identical: {monitoring['results_identical']}")
+    partition = payload["partition_point"]
+    print(f"  partitioning {partition['spec']!r}: noisy-neighbour p99 "
+          f"penalty shared {partition['shared_penalty']:.2f}x vs "
+          f"partitioned {partition['partitioned_penalty']:.2f}x; "
+          f"partition kill contained: "
+          f"{partition['containment']['rt_bytes_identical']} "
+          f"(blast {partition['containment']['blast_radius']}, "
+          f"per-partition kernels "
+          f"{partition['containment']['partition_kernels']})")
     if not (point["interpreter"]["correct"] and point["batched"]["correct"]):
         raise SystemExit("smoke benchmark produced incorrect results")
     if not (fig06["interpreter"]["correct"] and fig06["batched"]["correct"]):
@@ -832,6 +879,46 @@ def main(out_path: str = "BENCH_smoke.json") -> dict:
         raise SystemExit(
             "device kill produced no coherent incident bundle "
             "(kill <= detect ordering missing from every timeline)"
+        )
+    if not (partition["shared"]["correct"]
+            and partition["partitioned"]["correct"]
+            and partition["containment"]["correct"]):
+        raise SystemExit("partition smoke point produced incorrect results")
+    if partition["partitioned_penalty"] > 1.10:
+        raise SystemExit(
+            f"partitioned interactive p99 drifted "
+            f"{partition['partitioned_penalty']:.2f}x from its solo run "
+            f"under an adversarial tenant (ceiling 1.10x — partitions "
+            f"stopped isolating)"
+        )
+    if partition["shared_penalty"] <= partition["partitioned_penalty"]:
+        raise SystemExit(
+            "the shared cluster no longer shows a noisy-neighbour "
+            "penalty the partitioned one avoids — the smoke point "
+            "stopped exercising isolation"
+        )
+    if not partition["containment"]["rt_bytes_identical"]:
+        raise SystemExit(
+            "a partition-scoped kill perturbed another partition's "
+            "result bytes (containment broken)"
+        )
+    if not (partition["containment"]["rt_accounted"]
+            and partition["containment"]["noisy_accounted"]):
+        raise SystemExit(
+            "partition kill broke the serving accounting identity"
+        )
+    if partition["containment"]["alert_recall"] < 1.0:
+        raise SystemExit(
+            f"monitoring missed the partition kill (recall "
+            f"{partition['containment']['alert_recall']:.2f}, floor 1.0)"
+        )
+    blast_keys = partition["containment"]["blast_radius"]
+    if blast_keys == "none" or any(
+            not key.split(":")[0].endswith(".batch")
+            for key in blast_keys.split(",")):
+        raise SystemExit(
+            f"partition-kill blast radius escaped the killed partition "
+            f"({blast_keys!r}; only dev*.batch may appear)"
         )
     return payload
 

@@ -62,6 +62,13 @@ class ShardMap:
     #: the frozen map: ownership policy is immutable, residency is not.
     #: Empty for a healthy cluster, so ownership arithmetic stays as-is.
     remap: dict[int, int] = field(default_factory=dict, compare=False)
+    #: Hardware partition this allocation (and every launch over it) is
+    #: pinned to, uniformly on all devices.  ``None`` = unpartitioned.
+    partition: str | None = None
+    #: Partition failover (victim -> survivor), installed by recovery via
+    #: :meth:`move_partition`; mutates-in-frozen exactly like ``remap``.
+    partition_remap: dict[str, str] = field(default_factory=dict,
+                                            compare=False)
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
@@ -171,6 +178,27 @@ class ShardMap:
                    in self.owner_segments(self.base, self.bound)
                    if owner == device)
 
+    @property
+    def active_partition(self) -> str | None:
+        """The partition launches over this shard run in *now* (after any
+        partition failovers)."""
+        if self.partition is None:
+            return None
+        return self.partition_remap.get(self.partition, self.partition)
+
+    def move_partition(self, survivor: str) -> bool:
+        """Fail the shard's pinned partition over to ``survivor``.
+
+        Addresses are partition-agnostic (partitions carve bandwidth and
+        compute, not the byte store), so no re-materialization is needed —
+        future launches simply bind to the survivor.  Returns True when
+        the shard actually moved.
+        """
+        if self.partition is None or self.active_partition == survivor:
+            return False
+        self.partition_remap[self.partition] = survivor
+        return True
+
     def fail_over(self, failed: int, survivor: int) -> int:
         """Redirect ``failed``'s bytes to ``survivor``; returns the bytes
         that must be re-materialized there (0 when the device owned
@@ -208,7 +236,8 @@ class ClusterAllocator:
 
     def alloc(self, size: int, align: int = 4096,
               placement: str | None = None,
-              shard_bytes: int | None = None) -> ShardMap:
+              shard_bytes: int | None = None,
+              partition: str | None = None) -> ShardMap:
         placement = (placement if placement is not None
                      else self.default_placement)
         granule = (shard_bytes if shard_bytes
@@ -220,7 +249,8 @@ class ClusterAllocator:
                 f"cluster allocators out of lockstep: {addrs}"
             )
         shard = ShardMap(base=addrs[0], size=size, placement=placement,
-                         num_devices=self.num_devices, shard_bytes=granule)
+                         num_devices=self.num_devices, shard_bytes=granule,
+                         partition=partition)
         self.maps.append(shard)
         return shard
 

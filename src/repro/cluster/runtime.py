@@ -37,6 +37,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.cluster.partitions import PartitionMap, resolve_partitions
 from repro.cluster.placement import ClusterAllocator, ShardMap
 from repro.cluster.scheduler import (
     LaunchScheduler,
@@ -113,6 +114,23 @@ def resolve_scheduler_policy(explicit: str | None,
             env, source="REPRO_CLUSTER_SCHEDULER environment variable"
         )
     return config_default
+
+
+def resolve_partition_source(explicit: str | None,
+                             config_default: str | None,
+                             ) -> tuple[str | None, str]:
+    """Explicit argument > REPRO_PARTITIONS env > config default.
+
+    Returns ``(spec, source)`` so validation errors can name where the
+    offending spec came from.  An empty string means "unpartitioned",
+    same as unset — so ``REPRO_PARTITIONS=""`` switches partitioning off.
+    """
+    if explicit is not None:
+        return explicit or None, "partitions argument"
+    env = os.environ.get("REPRO_PARTITIONS")
+    if env is not None:
+        return env or None, "REPRO_PARTITIONS environment variable"
+    return config_default, "ClusterConfig.partitions"
 
 
 @dataclass
@@ -245,6 +263,7 @@ class ClusterRuntime:
         scheduler: str | None = None,
         base_asid: int = CLUSTER_BASE_ASID,
         launch_timeout_ns: float | None = None,
+        partitions: str | None = None,
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.system = system if system is not None else default_system()
@@ -257,6 +276,15 @@ class ClusterRuntime:
                 )
         policy = resolve_scheduler_policy(
             scheduler, self.cluster_config.scheduler
+        )
+        spec, spec_source = resolve_partition_source(
+            partitions, self.cluster_config.partitions
+        )
+        #: Resolved :class:`PartitionMap` applied uniformly to every
+        #: device, or None — the unpartitioned default, in which all
+        #: partition branches below are dead code.
+        self.partitions: PartitionMap | None = resolve_partitions(
+            spec, self.system, source=spec_source
         )
         n = self.cluster_config.num_devices
 
@@ -272,6 +300,7 @@ class ClusterRuntime:
         # trace process ids: pid 0 is the host, pid 1+i is device i
         for i, device in enumerate(self.devices):
             device.trace_pid = 1 + i
+            device.configure_partitions(self.partitions)
         self.runtimes = [
             M2NDPRuntime(device, asid=base_asid + i)
             for i, device in enumerate(self.devices)
@@ -342,13 +371,25 @@ class ClusterRuntime:
 
     def alloc(self, size: int, align: int = 4096,
               placement: str | None = None,
-              shard_bytes: int | None = None) -> int:
-        return self.allocator.alloc(size, align, placement, shard_bytes).base
+              shard_bytes: int | None = None,
+              partition: str | None = None) -> int:
+        if partition is not None:
+            if self.partitions is None:
+                raise ConfigError(
+                    f"cannot pin allocation to partition {partition!r}: "
+                    f"cluster is unpartitioned (set REPRO_PARTITIONS or "
+                    f"make_cluster_platform(partitions=...))"
+                )
+            self.partitions.share(partition)      # validates the name
+        return self.allocator.alloc(size, align, placement, shard_bytes,
+                                    partition=partition).base
 
     def alloc_array(self, array: np.ndarray, align: int = 4096,
                     placement: str | None = None,
-                    shard_bytes: int | None = None) -> int:
-        addr = self.alloc(array.nbytes, align, placement, shard_bytes)
+                    shard_bytes: int | None = None,
+                    partition: str | None = None) -> int:
+        addr = self.alloc(array.nbytes, align, placement, shard_bytes,
+                          partition=partition)
         self.physical.store_array(addr, array)
         return addr
 
@@ -441,7 +482,13 @@ class ClusterRuntime:
         if on_complete is not None:
             handle.on_complete(on_complete)
         if self.faults is not None:
-            hit = self.faults.poison_hit(pool_base, pool_bound)
+            # untagged launches physically run in the default partition,
+            # so partition-scoped faults must see them there
+            part_name = shard.active_partition if shard is not None else None
+            if part_name is None and self.partitions is not None:
+                part_name = self.partitions.default.name
+            hit = self.faults.poison_hit(pool_base, pool_bound,
+                                         partition=part_name)
             if hit is not None:
                 # CXL data poison: µthreads sweeping the range would fault;
                 # the launch completes exceptionally without issuing subs
@@ -495,9 +542,15 @@ class ClusterRuntime:
                    stride: int, at_ns: float, order: dict[int, int],
                    trace_parent: int | None = None) -> None:
         sub = queue[index]
+        # effective partition: an untagged launch on a partitioned device
+        # runs in the default partition (partition-scoped faults included)
+        eff_part = sub.partition
+        if eff_part is None and self.partitions is not None:
+            eff_part = self.partitions.default.name
         if self.faults is not None:
             # a stall window holds issue to the device until it clears
-            at_ns = self.faults.delay_issue(sub.device, at_ns)
+            at_ns = self.faults.delay_issue(sub.device, at_ns,
+                                            partition=eff_part)
         tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
             else None
         sub_lane = None
@@ -514,10 +567,14 @@ class ClusterRuntime:
                 tracer.record("cxl.p2p", at_ns, done, parent=trace_parent,
                               pid=1 + sub.device, tid=sub_lane,
                               owner=owner, bytes=nbytes)
-        # the M2func fan-out write itself crosses the switch
+        # the M2func fan-out write itself crosses the switch (a
+        # partition-tagged launch carries one extra header word)
+        part_index = (None if sub.partition is None
+                      else self.partitions.index_of(sub.partition))
+        wire_bytes = LAUNCH_WIRE_BYTES + (0 if part_index is None else 8)
         pre_fanout = ready
         ready = self.switch.host_to_device(
-            ready, sub.device, LAUNCH_WIRE_BYTES + len(args)
+            ready, sub.device, wire_bytes + len(args)
         )
         self.scheduler.note_issued(sub.device)
         self.stats.add("cluster.sub_launches")
@@ -528,7 +585,7 @@ class ClusterRuntime:
         if tracer is not None:
             tracer.record("cxl.fanout", pre_fanout, ready,
                           parent=trace_parent, pid=1 + sub.device,
-                          tid=sub_lane, bytes=LAUNCH_WIRE_BYTES + len(args))
+                          tid=sub_lane, bytes=wire_bytes + len(args))
             sub_span = tracer.begin(
                 "cluster.sub_launch", ready, parent=trace_parent,
                 pid=1 + sub.device, tid=sub_lane,
@@ -536,13 +593,14 @@ class ClusterRuntime:
         sub_handle = self.runtimes[sub.device].launch_async(
             kids[sub.device], sub.base, sub.bound, args=args,
             sync=False, stride=stride, at_ns=ready,
-            offset_bias=sub.offset_bias,
+            offset_bias=sub.offset_bias, partition=part_index,
             on_complete=self._make_sub_done(handle, kids, queue, index, args,
                                             stride, order, trace_parent,
                                             sub_span),
         )
         if self.faults is not None:
-            self.faults.note_sub_issued(sub.device, handle, sub_handle)
+            self.faults.note_sub_issued(sub.device, handle, sub_handle,
+                                        partition=eff_part)
         sub_handle.call.on_done(self._make_error_check(handle, sub))
         if tracer is not None:
             # the M2func read resolves the device-side instance id after
@@ -696,12 +754,16 @@ def make_cluster_platform(num_devices: int = 2,
                           placement: str | None = None,
                           scheduler: str | None = None,
                           shard_bytes: int | None = None,
-                          backend: str | None = None) -> ClusterPlatform:
+                          backend: str | None = None,
+                          partitions: str | None = None) -> ClusterPlatform:
     """Build a fresh simulator + N-expander cluster bundle.
 
     Keyword conveniences (``placement`` / ``scheduler`` / ``shard_bytes``)
     override the corresponding :class:`ClusterConfig` fields; a full
-    ``cluster`` config wins over ``num_devices``.
+    ``cluster`` config wins over ``num_devices``.  ``partitions`` is a
+    hardware partition spec (``"rt:1,batch:3"``) applied to every device;
+    selection precedence matches the other knobs (argument >
+    ``REPRO_PARTITIONS`` > config default, validated at construction).
     """
     if cluster is None:
         cluster = ClusterConfig(
@@ -714,6 +776,7 @@ def make_cluster_platform(num_devices: int = 2,
             "pass either a full ClusterConfig or per-field overrides, not both"
         )
     runtime = ClusterRuntime(system=system, cluster=cluster,
-                             backend=backend, scheduler=scheduler)
+                             backend=backend, scheduler=scheduler,
+                             partitions=partitions)
     return ClusterPlatform(sim=runtime.sim, runtime=runtime,
                            system=runtime.system)

@@ -60,6 +60,10 @@ class SubLaunch:
     bound: int
     offset_bias: int                      # (base - logical pool base)
     remote: dict[int, int] = field(default_factory=dict)   # owner -> bytes
+    #: Hardware partition the sub-launch binds to on its device (copied
+    #: from the pool shard's active partition at plan time; None =
+    #: unpartitioned).
+    partition: str | None = None
 
     @property
     def size(self) -> int:
@@ -136,9 +140,13 @@ class LaunchScheduler:
                 "no routable device for launch (all DOWN or draining)",
                 devices=tuple(range(self.num_devices)),
             )
+        # Every sub-launch of a partition-pinned pool binds to the shard's
+        # active partition — placement can never produce a cross-partition
+        # launch because the partition is decided once, at the pool level.
+        partition = shard.active_partition if shard is not None else None
         if self.num_devices == 1:
             return [SubLaunch(device=0, base=pool_base, bound=pool_bound,
-                              offset_bias=0)]
+                              offset_bias=0, partition=partition)]
         chunks = self._chunks(shard, pool_base, pool_bound, stride)
         planned = [0] * self.num_devices
         subs: list[SubLaunch] = []
@@ -155,7 +163,7 @@ class LaunchScheduler:
             else:
                 subs.append(SubLaunch(device=device, base=lo, bound=hi,
                                       offset_bias=lo - pool_base,
-                                      remote=remote))
+                                      remote=remote, partition=partition))
         return subs
 
     # ------------------------------------------------------------------

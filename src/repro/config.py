@@ -300,6 +300,9 @@ class ClusterConfig:
     placement: str = "interleaved"
     shard_bytes: int = 0
     scheduler: str = "locality"
+    #: Hardware partition spec applied to every device ("rt:1,batch:3"),
+    #: or None for monolithic devices; see repro.cluster.partitions.
+    partitions: str | None = None
     #: Root seed for every per-stream random generator (traffic arrivals,
     #: tenant data) so cluster traffic and serving runs are reproducible
     #: bit-for-bit across processes; see repro.serve.arrivals.stream_rng.
@@ -320,6 +323,10 @@ class ClusterConfig:
             )
         validate_scheduler_name(self.scheduler,
                                 source="ClusterConfig.scheduler")
+        if self.partitions is not None:
+            from repro.cluster.partitions import parse_partition_spec
+            parse_partition_spec(self.partitions,
+                                 source="ClusterConfig.partitions")
         if self.shard_bytes < 0:
             raise ConfigError("shard_bytes must be >= 0 (0 = auto)")
         if self.seed < 0:

@@ -190,7 +190,7 @@ class _BatchReplay:
         self._entry = entry
         self._mem_i = 0
         self._executed = 0
-        spad = device.units[0].scratchpad
+        spad = device.units[execution.unit_base].scratchpad
         self._spad = spad
         self._spad_lo = spad.base_vaddr
         self._spad_hi = spad.base_vaddr + spad.size_bytes
@@ -745,7 +745,7 @@ class BatchedBackend(InterpreterBackend):
             # ``REPRO_POINT=0`` restores the masked-engine behaviour.
             if (self.point_enabled and why != "phases"
                     and execution.instance.num_body_uthreads
-                    <= device.config.ndp.num_units):
+                    <= execution.num_units):
                 attempt_point(self, execution, now_ns)
                 return
             failure = self._attempt_simt(execution, key, now_ns)
@@ -889,9 +889,14 @@ class BatchedBackend(InterpreterBackend):
         fu_counts = entry.fu_counts
         period = cfg.clock.period_ns
         start = max(now_ns, device.sim.now) + SPAWN_LATENCY_NS
+        # A partition-bound launch only sees (and only charges) its own
+        # unit window and its private L2/DRAM slice.
+        num_units = execution.num_units
+        units = device.units[execution.unit_base:
+                             execution.unit_base + num_units]
 
         # --- issue-throughput bound (per sub-core, FGMT hides latency) ---
-        per_unit = math.ceil(n / cfg.num_units)
+        per_unit = math.ceil(n / num_units)
         per_subcore = per_unit / cfg.subcores_per_unit
         fu_width = {
             FUnit.SALU: cfg.scalar_alus_per_subcore,
@@ -908,7 +913,7 @@ class BatchedBackend(InterpreterBackend):
         dispatch_ops = math.ceil(trace_len * per_subcore)
         fu_ops = [(fu, math.ceil(c * per_subcore))
                   for fu, c in fu_counts.items()]
-        for unit in device.units:
+        for unit in units:
             for subcore in unit.subcores:
                 subcore.dispatch.service_batch(start, dispatch_ops)
                 subcore.instructions_issued += dispatch_ops
@@ -924,8 +929,10 @@ class BatchedBackend(InterpreterBackend):
                 stats.add("ndp.global_accesses", n)
 
         # --- latency floor: serial thread latency x occupancy waves ------
-        unit0 = device.units[0]
-        dram_lat = device.dram.typical_random_latency_ns()
+        unit0 = units[0]
+        dram = (device.dram if execution.partition is None
+                else execution.partition.dram)
+        dram_lat = dram.typical_random_latency_ns()
         l1_hit = device.config.ndp.l1d.hit_latency_ns
         l2_hit = device.config.l2.hit_latency_ns
         thread_lat = entry.latency_cycles * period
@@ -954,11 +961,12 @@ class BatchedBackend(InterpreterBackend):
             # Every participating unit takes one on-chip TLB fill per page
             # it touches; the pre-warmed DRAM-TLB serves them without DRAM
             # traffic (§III-H), so only the stat is charged.
-            stats.add("ndp.tlb_fill", entry.page_count * min(cfg.num_units, n))
+            stats.add("ndp.tlb_fill", entry.page_count * min(num_units, n))
             dt = window / merged
             arrivals = start + dt * np.arange(merged)
             mem_done = device.l2_dram_access_batch(
-                entry.merged_addrs, arrivals, entry.merged_writes
+                entry.merged_addrs, arrivals, entry.merged_writes,
+                partition=execution.partition,
             )
             completion = max(completion, mem_done)
 
@@ -968,7 +976,7 @@ class BatchedBackend(InterpreterBackend):
         stats.add("ndp.uthreads_spawned", n)
         stats.add("ndp.uthreads_finished", n)
         ratio = min(per_unit, slots_per_unit) / slots_per_unit
-        for unit in device.units:
+        for unit in units:
             unit.occupancy.sampler.record(start, ratio)
 
         if obs_tracer.ENABLED:
@@ -985,7 +993,7 @@ class BatchedBackend(InterpreterBackend):
             now = device.sim.now
             instance.instructions += n * trace_len
             instance.uthreads_done = instance.uthreads_total
-            for unit in device.units:
+            for unit in units:
                 unit.occupancy.sampler.record(now, 0.0)
             execution.finish_now(now)
 

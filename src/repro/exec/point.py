@@ -1020,7 +1020,9 @@ def attempt_point(backend, execution, now_ns: float) -> None:
     instance = execution.instance
     cfg = device.config.ndp
     period = cfg.clock.period_ns
-    num_units = cfg.num_units
+    num_units = execution.num_units
+    exec_units = device.units[execution.unit_base:
+                              execution.unit_base + num_units]
     asid = instance.asid
     stride = instance.uthread_stride
     n = instance.num_body_uthreads
@@ -1036,7 +1038,7 @@ def attempt_point(backend, execution, now_ns: float) -> None:
     hits = misses = gen_hits = 0
 
     for lane in range(n):
-        unit = device.units[lane % num_units]
+        unit = exec_units[lane % num_units]
         live = {
             "x1": instance.pool_base + lane * stride,
             "x2": instance.offset_bias + lane * stride,
@@ -1097,7 +1099,7 @@ def attempt_point(backend, execution, now_ns: float) -> None:
 
     slots = cfg.subcores_per_unit * cfg.uthread_slots_per_subcore
     ratio = min((n + num_units - 1) // num_units, slots) / slots
-    for unit in device.units:
+    for unit in exec_units:
         unit.occupancy.sampler.record(t0, ratio)
 
     completion = max(lane_done) if lane_done else t0
@@ -1113,7 +1115,7 @@ def attempt_point(backend, execution, now_ns: float) -> None:
         now = device.sim.now
         instance.instructions += total_inst
         instance.uthreads_done = instance.uthreads_total
-        for unit in device.units:
+        for unit in exec_units:
             unit.occupancy.sampler.record(now, 0.0)
         execution.finish_now(now)
 

@@ -524,7 +524,7 @@ class _PhaseWalk:
         self.sew = np.full(n, 64, dtype=np.int64)
 
         device = plan.device
-        spad = device.units[0].scratchpad
+        spad = device.units[plan.execution.unit_base].scratchpad
         self._spad_lo = spad.base_vaddr
         self._spad_size = spad.size_bytes
         self._spad_hi = spad.base_vaddr + spad.size_bytes
@@ -535,7 +535,9 @@ class _PhaseWalk:
         self._period = cfg.ndp.clock.period_ns
         self._l1_hit = cfg.ndp.l1d.hit_latency_ns
         self._l2_hit = cfg.l2.hit_latency_ns
-        self._dram_lat = device.dram.typical_random_latency_ns()
+        dram = (device.dram if plan.execution.partition is None
+                else plan.execution.partition.dram)
+        self._dram_lat = dram.typical_random_latency_ns()
         self._sector_bytes = cfg.l2.sector_bytes
 
     # -- register plumbing -------------------------------------------------
@@ -1543,10 +1545,12 @@ class SimtPlan:
     # -- scratchpad shadows ------------------------------------------------
 
     def spad_view(self, unit: int, write: bool) -> np.ndarray:
+        """``unit`` is plan-local; shadows map to the physical unit."""
         shadow = self.spad_shadows.get(unit)
         if shadow is not None:
             return shadow
-        real = self.device.units[unit].scratchpad.view()
+        real = self.device.units[
+            self.execution.unit_base + unit].scratchpad.view()
         if not write:
             return real
         shadow = real.copy()
@@ -1560,8 +1564,7 @@ class SimtPlan:
 
     def _phase_lanes(self, phase: Phase):
         instance = self.execution.instance
-        cfg = self.device.config.ndp
-        num_units = cfg.num_units
+        num_units = self.execution.num_units
         if phase is Phase.BODY:
             n = instance.num_body_uthreads
             idx = np.arange(n, dtype=np.int64)
@@ -1635,12 +1638,13 @@ class SimtPlan:
     def commit(self) -> None:
         """Launch success: write scratchpad shadows back, flush counters."""
         stats = self.device.stats
+        unit_base = self.execution.unit_base
         for unit, shadow in self.spad_shadows.items():
-            self.device.units[unit].scratchpad.view()[:] = shadow
+            self.device.units[unit_base + unit].scratchpad.view()[:] = shadow
         for profile in self.profiles:
             for unit, (reads, writes, atomics, bytes_) in (
                     profile.spad_counters.items()):
-                prefix = f"unit{unit}.spad"
+                prefix = f"unit{unit_base + unit}.spad"
                 if reads:
                     stats.add(f"{prefix}.reads", reads)
                 if writes:
@@ -1662,10 +1666,12 @@ class SimtPlan:
         cfg = device.config.ndp
         stats = device.stats
         period = cfg.clock.period_ns
-        num_units = cfg.num_units
+        num_units = self.execution.num_units
+        units = device.units[self.execution.unit_base:
+                             self.execution.unit_base + num_units]
         subcores = cfg.subcores_per_unit
         slots_per_unit = cfg.subcores_per_unit * cfg.uthread_slots_per_subcore
-        granularity = device.units[0].occupancy.subcores[0].spawn_granularity
+        granularity = units[0].occupancy.subcores[0].spawn_granularity
         fu_width = {
             FUnit.SALU: cfg.scalar_alus_per_subcore,
             FUnit.VALU: cfg.vector_alus_per_subcore,
@@ -1707,7 +1713,7 @@ class SimtPlan:
                                  count / n_sub * period / fu_width.get(fu, 1))
                 fu_split[fu] = divmod(count, n_sub)
             sub_i = 0
-            for unit in device.units:
+            for unit in units:
                 for subcore in unit.subcores:
                     ops = d_base + (1 if sub_i < d_rem else 0)
                     if ops:
@@ -1743,7 +1749,8 @@ class SimtPlan:
                 dt = window / merged
                 arrivals = start + dt * np.arange(merged)
                 mem_done = device.l2_dram_access_batch(
-                    profile.merged_addrs, arrivals, profile.merged_writes
+                    profile.merged_addrs, arrivals, profile.merged_writes,
+                    partition=execution.partition,
                 )
                 completion = max(completion, mem_done)
 
@@ -1759,7 +1766,7 @@ class SimtPlan:
             ratio = min(int(profile.unit_of_lane.size and np.bincount(
                 profile.unit_of_lane, minlength=num_units).max()),
                 slots_per_unit) / slots_per_unit
-            for unit in device.units:
+            for unit in units:
                 unit.occupancy.sampler.record(start, ratio)
             t = completion
 
@@ -1776,7 +1783,7 @@ class SimtPlan:
             now = device.sim.now
             instance.instructions += done_instructions
             instance.uthreads_done = instance.uthreads_total
-            for unit in device.units:
+            for unit in units:
                 unit.occupancy.sampler.record(now, 0.0)
             execution.finish_now(now)
 

@@ -23,6 +23,10 @@ from repro.experiments.fig13 import (
 )
 from repro.experiments.fig14 import run_fig14a, run_fig14b
 from repro.experiments.fig15 import run_fig15_gpu, run_fig15_olap
+from repro.experiments.partitioning import (
+    run_partitioning,
+    run_partitioning_containment,
+)
 from repro.experiments.resilience import (
     run_resilience,
     run_resilience_hedged,
@@ -52,6 +56,8 @@ EXPERIMENTS = {
     "fig15-olap": run_fig15_olap,
     "fig15-gpu": run_fig15_gpu,
     "instr-savings": static_instruction_savings,
+    "partitioning": run_partitioning,
+    "partitioning-containment": run_partitioning_containment,
     "resilience": run_resilience,
     "resilience-hedged": run_resilience_hedged,
     "resilience-monitoring": run_resilience_monitoring,

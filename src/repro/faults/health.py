@@ -43,9 +43,44 @@ class HealthMonitor:
         self.stats = stats
         #: (when_ns, device, old, new) transition log for reports/tests.
         self.transitions: list[tuple[float, int, str, str]] = []
+        #: Per-(device, partition) states; absent keys are UP.  Populated
+        #: only by partition-scoped faults, so unpartitioned runs never
+        #: touch it.
+        self.partition_states: dict[tuple[int, str], str] = {}
+        #: (when_ns, device, partition, old, new) partition transitions.
+        self.partition_transitions: list[
+            tuple[float, int, str, str, str]] = []
 
     def state(self, device: int) -> str:
         return self.states[device]
+
+    def partition_state(self, device: int, partition: str) -> str:
+        """Health of one hardware partition on ``device``.
+
+        A partition is only as healthy as its device: a DOWN device
+        reports every partition DOWN.
+        """
+        if self.states[device] == DOWN:
+            return DOWN
+        return self.partition_states.get((device, partition), UP)
+
+    def is_partition_routable(self, device: int, partition: str) -> bool:
+        return (self.is_routable(device)
+                and self.partition_state(device, partition) in (UP, DEGRADED))
+
+    def mark_partition(self, device: int, partition: str, new_state: str,
+                       when_ns: float) -> bool:
+        """Transition one partition; same DOWN-is-terminal rule as devices."""
+        old = self.partition_states.get((device, partition), UP)
+        if old == new_state or old == DOWN:
+            return False
+        self.partition_states[(device, partition)] = new_state
+        self.partition_transitions.append(
+            (when_ns, device, partition, old, new_state))
+        if self.stats is not None:
+            self.stats.add("fault.partition_transitions")
+            self.stats.add(f"fault.partition_to_{new_state}")
+        return True
 
     def is_routable(self, device: int) -> bool:
         return self.states[device] in (UP, DEGRADED)
@@ -75,4 +110,9 @@ class HealthMonitor:
         return True
 
     def render(self) -> str:
-        return " ".join(f"dev{d}:{s}" for d, s in enumerate(self.states))
+        parts = [f"dev{d}:{s}" for d, s in enumerate(self.states)]
+        parts.extend(
+            f"dev{d}.{name}:{s}"
+            for (d, name), s in sorted(self.partition_states.items())
+        )
+        return " ".join(parts)

@@ -50,6 +50,18 @@ class FaultInjector:
         if heartbeat_ns <= 0:
             raise ConfigError("heartbeat_ns must be positive")
         plan.validate_against(runtime.num_devices)
+        pmap = getattr(runtime, "partitions", None)
+        for event in plan.events:
+            if event.partition is None:
+                continue
+            if pmap is None:
+                raise ConfigError(
+                    f"fault {event.kind} is scoped to partition "
+                    f"{event.partition!r} but the cluster is unpartitioned "
+                    f"(set REPRO_PARTITIONS or "
+                    f"make_cluster_platform(partitions=...))"
+                )
+            pmap.share(event.partition)       # validates the name
         self.runtime = runtime
         self.plan = plan
         self.heartbeat_ns = heartbeat_ns
@@ -60,13 +72,20 @@ class FaultInjector:
         #: before the host *detects* the death at a heartbeat boundary.
         self._killed = [False] * runtime.num_devices
         self._detected = [False] * runtime.num_devices
+        #: Partition-scoped deaths/detections: (device, partition name).
+        self._part_killed: set[tuple[int, str]] = set()
+        self._part_detected: set[tuple[int, str]] = set()
         #: Per-device stall-window end (issue to the device is held).
         self._stall_until = [0.0] * runtime.num_devices
-        #: Poisoned address ranges: (base, size).
-        self._poison: list[tuple[int, int]] = []
-        #: In-flight sub-launches per device: id(sub_handle) -> (handle,
-        #: device) so a detected failure can fail them typed.
-        self._live: dict[int, dict[int, object]] = {
+        #: Per-(device, partition) stall-window end.
+        self._part_stall_until: dict[tuple[int, str], float] = {}
+        #: Poisoned address ranges: (base, size, partition-or-None).
+        self._poison: list[tuple[int, int, str | None]] = []
+        #: In-flight sub-launches per device: id(sub_handle) ->
+        #: (handle, partition) so a detected failure can fail them typed
+        #: — and a partition-scoped failure only the ones in its blast
+        #: radius.
+        self._live: dict[int, dict[int, tuple[object, str | None]]] = {
             d: {} for d in range(runtime.num_devices)
         }
         self._armed = False
@@ -105,13 +124,29 @@ class FaultInjector:
     def _on_device_fail(self, event: FaultEvent) -> None:
         now = self.runtime.sim.now
         device = event.device
+        # the host notices at the next heartbeat boundary after the death
+        beats = int((now - self.epoch_ns) // self.heartbeat_ns) + 1
+        detect_at = self.epoch_ns + beats * self.heartbeat_ns
+        if event.partition is not None:
+            # blast radius: one partition's units stop answering; the
+            # rest of the device (other partitions' private L2/DRAM
+            # models) never sees the fault
+            self._part_killed.add((device, event.partition))
+            self.stats.add("fault.partition_kills")
+            self._instant("fault.partition_kill", now, pid=1 + device,
+                          device=device, partition=event.partition)
+            self._record("fault.partition_kill", now, device=device,
+                         partition=event.partition)
+            self.runtime.sim.schedule_at(
+                detect_at,
+                (lambda d=device, p=event.partition:
+                 self._detect_partition(d, p))
+            )
+            return
         self._killed[device] = True
         self.stats.add("fault.device_kills")
         self._instant("fault.kill", now, pid=1 + device, device=device)
         self._record("fault.kill", now, device=device)
-        # the host notices at the next heartbeat boundary after the death
-        beats = int((now - self.epoch_ns) // self.heartbeat_ns) + 1
-        detect_at = self.epoch_ns + beats * self.heartbeat_ns
         self.runtime.sim.schedule_at(
             detect_at, (lambda d=device: self._detect(d))
         )
@@ -120,6 +155,29 @@ class FaultInjector:
         now = self.runtime.sim.now
         device = event.device
         until = now + event.duration_ns
+        if event.partition is not None:
+            key = (device, event.partition)
+            self._part_stall_until[key] = max(
+                self._part_stall_until.get(key, 0.0), until)
+            self.stats.add("fault.partition_stall_windows")
+            self.health.mark_partition(device, event.partition, DEGRADED,
+                                       now)
+            self._instant("fault.partition_stall", now, pid=1 + device,
+                          device=device, partition=event.partition,
+                          duration_ns=event.duration_ns)
+            self._record("fault.partition_stall", now, device=device,
+                         partition=event.partition,
+                         duration_ns=event.duration_ns)
+
+            def recover_part(k=key, u=until) -> None:
+                if self._part_stall_until.get(k, 0.0) <= u:
+                    now_ns = self.runtime.sim.now
+                    self.health.mark_partition(k[0], k[1], UP, now_ns)
+                    self._record("recovery.partition_up", now_ns,
+                                 device=k[0], partition=k[1])
+
+            self.runtime.sim.schedule_at(until, recover_part)
+            return
         self._stall_until[device] = max(self._stall_until[device], until)
         self.stats.add("fault.stall_windows")
         self.health.mark(device, DEGRADED, now)
@@ -160,11 +218,12 @@ class FaultInjector:
 
     def _on_poison(self, event: FaultEvent) -> None:
         now = self.runtime.sim.now
-        self._poison.append((event.base, event.size))
+        self._poison.append((event.base, event.size, event.partition))
         self.stats.add("fault.poison_ranges")
         self._instant("fault.poison", now, base=event.base, size=event.size)
         self._record("fault.poison", now, device=event.device,
-                     base=event.base, size=event.size)
+                     base=event.base, size=event.size,
+                     partition=event.partition)
 
     # ------------------------------------------------------------------
     # detection & recovery
@@ -183,7 +242,7 @@ class FaultInjector:
         # fail every in-flight sub-launch stranded on the dead device
         stranded = list(self._live[device].values())
         self._live[device].clear()
-        for handle in stranded:
+        for handle, _part in stranded:
             self.runtime.scheduler.note_complete(device)
             self.stats.add("recovery.failed_launches")
             handle._fail(now, LaunchFailed(
@@ -193,6 +252,55 @@ class FaultInjector:
         self._recover_shards(device, now)
         if self.runtime.incidents is not None:
             self.runtime.incidents.on_fault_detected(device, now)
+
+    def _detect_partition(self, device: int, partition: str) -> None:
+        """Heartbeat detection of a partition-scoped failure.
+
+        The device stays routable — the blast radius is one partition:
+        only launches bound to it are failed, and only allocations
+        pinned to it move.  Surviving partitions' private timing models
+        were never touched, so their results are byte-identical to a
+        fault-free run by construction.
+        """
+        if (device, partition) in self._part_detected:
+            return
+        self._part_detected.add((device, partition))
+        now = self.runtime.sim.now
+        self.stats.add("fault.detections")
+        self.stats.add("fault.partition_detections")
+        self.health.mark_partition(device, partition, DOWN, now)
+        self._instant("fault.partition_detect", now, pid=1 + device,
+                      device=device, partition=partition)
+        self._record("fault.partition_detect", now, device=device,
+                     partition=partition)
+        # fail only the in-flight sub-launches inside the blast radius
+        stranded = [(key, handle)
+                    for key, (handle, part) in self._live[device].items()
+                    if part == partition]
+        for key, handle in stranded:
+            del self._live[device][key]
+            self.runtime.scheduler.note_complete(device)
+            self.stats.add("recovery.failed_launches")
+            handle._fail(now, LaunchFailed(
+                f"partition {partition!r} on device {device} failed "
+                f"with the launch in flight",
+                device=device, reason="partition_failure",
+            ))
+        # fail pinned allocations over to spare-partition capacity.  The
+        # pin is uniform across devices, so the move is cluster-wide:
+        # future launches must avoid the dead partition everywhere.
+        spare = self.runtime.partitions.spare_for(partition)
+        if spare is not None:
+            for shard in self.runtime.allocator.maps:
+                if (shard.active_partition == partition
+                        and shard.move_partition(spare.name)):
+                    self.stats.add("recovery.partition_failovers")
+                    self._record("recovery.partition_remap", now,
+                                 device=device, partition=partition,
+                                 survivor=spare.name)
+        if self.runtime.incidents is not None:
+            self.runtime.incidents.on_fault_detected(
+                device, now, partition=partition)
 
     def _recover_shards(self, device: int, now: float) -> None:
         """Fail over / re-materialize every allocation the device owned."""
@@ -233,31 +341,52 @@ class FaultInjector:
     # runtime hooks (every one a cheap no-op under a zero-fault plan)
     # ------------------------------------------------------------------
 
-    def note_sub_issued(self, device: int, handle, sub_handle) -> None:
-        """Track an in-flight sub-launch so a kill can fail it typed."""
-        self._live[device][id(sub_handle)] = handle
+    def note_sub_issued(self, device: int, handle, sub_handle,
+                        partition: str | None = None) -> None:
+        """Track an in-flight sub-launch so a kill can fail it typed —
+        and a partition-scoped kill only the ones in its blast radius."""
+        self._live[device][id(sub_handle)] = (handle, partition)
 
     def note_sub_completion(self, device: int, sub_handle) -> bool:
-        """Returns True when the completion is *lost* (the device died
-        before the host could observe it); the handle then stays pending
-        until :meth:`_detect` fails it."""
+        """Returns True when the completion is *lost* (the device — or
+        the partition the sub-launch ran in — died before the host could
+        observe it); the handle then stays pending until :meth:`_detect`
+        / :meth:`_detect_partition` fails it."""
         if self._killed[device]:
+            self.stats.add("fault.lost_completions")
+            return True
+        entry = self._live[device].get(id(sub_handle))
+        if (entry is not None and entry[1] is not None
+                and (device, entry[1]) in self._part_killed):
             self.stats.add("fault.lost_completions")
             return True
         self._live[device].pop(id(sub_handle), None)
         return False
 
-    def delay_issue(self, device: int, ready_ns: float) -> float:
-        """Hold sub-launch issue while the device is in a stall window."""
+    def delay_issue(self, device: int, ready_ns: float,
+                    partition: str | None = None) -> float:
+        """Hold sub-launch issue while the device — or the target
+        partition — is in a stall window."""
         until = self._stall_until[device]
+        if partition is not None:
+            until = max(until,
+                        self._part_stall_until.get((device, partition), 0.0))
         if ready_ns < until:
             self.stats.add("fault.stall_delays")
             return until
         return ready_ns
 
-    def poison_hit(self, lo: int, hi: int) -> tuple[int, int] | None:
-        """First poisoned range intersecting [lo, hi), or None."""
-        for base, size in self._poison:
+    def poison_hit(self, lo: int, hi: int,
+                   partition: str | None = None) -> tuple[int, int] | None:
+        """First poisoned range intersecting [lo, hi), or None.
+
+        ``partition`` is the partition the launch would run in;
+        partition-scoped poison only hits launches in that partition,
+        unscoped poison hits everything.
+        """
+        for base, size, scope in self._poison:
+            if scope is not None and scope != partition:
+                continue
             if lo < base + size and base < hi:
                 return (base, size)
         return None
@@ -267,13 +396,13 @@ class FaultInjector:
         if base is None:
             self._poison.clear()
         else:
-            self._poison = [(b, s) for b, s in self._poison if b != base]
+            self._poison = [e for e in self._poison if e[0] != base]
 
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
         """Deterministic summary for manifests / reports."""
-        return {
+        snap = {
             "health": list(self.health.states),
             "events": len(self.plan.events),
             "counters": {
@@ -282,6 +411,13 @@ class FaultInjector:
                 )
             },
         }
+        if self.health.partition_states:
+            snap["partition_health"] = {
+                f"dev{d}.{name}": state
+                for (d, name), state in sorted(
+                    self.health.partition_states.items())
+            }
+        return snap
 
 
 def make_poison_failure(base: int, size: int, pool_base: int) -> PoisonError:

@@ -53,12 +53,23 @@ class FaultEvent:
     base: int = 0                 # poison range start
     size: int = 0                 # poison range length (bytes)
     extra_ns: float = DEFAULT_RETRY_NS   # per-packet retry charge (flap)
+    #: Hardware partition the fault is scoped to (``device_fail`` /
+    #: ``device_stall`` / ``poison`` only): the blast radius shrinks from
+    #: the whole expander to that partition — its units stop answering /
+    #: stall / fault, the rest of the device keeps running untouched.
+    #: ``None`` (default) keeps whole-device semantics.
+    partition: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ConfigError(
                 f"unknown fault kind {self.kind!r}; "
                 f"choose from {list(FAULT_KINDS)}"
+            )
+        if self.partition is not None and self.kind == "link_flap":
+            raise ConfigError(
+                "link_flap cannot be partition-scoped: the switch port is "
+                "shared by every partition on the device"
             )
         if not math.isfinite(self.at_ns) or self.at_ns < 0:
             raise ConfigError(
@@ -107,12 +118,23 @@ class FaultPlan:
                     f"fault {event.kind} targets device {event.device} but "
                     f"the cluster has {num_devices}"
                 )
-        kills = [e.device for e in self.of_kind("device_fail")]
+        # Partition-scoped kills do not take the device down, so only
+        # whole-device kills count toward the survivor requirement.
+        kills = [e.device for e in self.of_kind("device_fail")
+                 if e.partition is None]
         if len(set(kills)) != len(kills):
             raise ConfigError(f"duplicate device_fail targets: {kills}")
         if len(set(kills)) >= num_devices:
             raise ConfigError(
                 "fault plan kills every device; at least one must survive"
+            )
+        part_kills = [(e.device, e.partition)
+                      for e in self.of_kind("device_fail")
+                      if e.partition is not None]
+        if len(set(part_kills)) != len(part_kills):
+            raise ConfigError(
+                f"duplicate partition-scoped device_fail targets: "
+                f"{part_kills}"
             )
         return self
 

@@ -42,6 +42,7 @@ from repro.ndp.controller import (
     FUNC_STRIDE_SHIFT,
     FUNC_UNREGISTER,
     LAUNCH_FLAG_OFFSET_BIAS,
+    LAUNCH_FLAG_PARTITION,
     LAUNCH_FLAG_SYNC,
 )
 from repro.ndp.device import M2NDPDevice
@@ -284,19 +285,26 @@ class M2NDPRuntime:
                      args: bytes = b"", sync: bool = False, stride: int = 32,
                      at_ns: float | None = None,
                      on_complete: Callable[[LaunchHandle], None] | None = None,
-                     offset_bias: int = 0) -> LaunchHandle:
+                     offset_bias: int = 0,
+                     partition: int | None = None) -> LaunchHandle:
         """ndpLaunchKernel (non-blocking): callbacks fire from sim events.
 
         ``offset_bias`` (cluster extension, see :mod:`repro.cluster`) shifts
         every body µthread's ``x2`` so a sub-launch over a slice of a larger
         logical pool computes the same offsets a whole-pool launch would.
-        When zero the payload is byte-identical to the plain Table II call.
+        ``partition`` (hardware-partitioning extension, see
+        :mod:`repro.cluster.partitions`) binds the launch to one partition
+        of a partitioned device.  With both left at their defaults the
+        payload is byte-identical to the plain Table II call.
         """
         flags = LAUNCH_FLAG_SYNC if sync else 0
         header = [flags, kernel_id, pool_base, pool_bound, stride, len(args)]
         if offset_bias:
             header[0] |= LAUNCH_FLAG_OFFSET_BIAS
             header.append(offset_bias)
+        if partition is not None:
+            header[0] |= LAUNCH_FLAG_PARTITION
+            header.append(partition)
         payload = pack_args(*header) + args
         if not self._free_launch_slots:
             raise SimulationError(

@@ -29,6 +29,16 @@ SET: overwrite-in-place when the key exists; otherwise link a
 host-preallocated node at the chain head with an atomic swap.
 Arguments: [0] bucket head-pointer address, [8..24] key words,
 [32] preallocated node address (with key+value already written by host).
+
+SET (scatter-batched): the write-path twin of the scatter GET — up to
+``max_batch`` independent SETs fuse into ONE launch over the same 64 B
+staging ring, one µthread per entry.  Each lane's descriptor carries the
+bucket head-pointer address, key words, preallocated node address and
+the request's status-slot pointer; the lane then runs the identical
+update/insert walk and reports through the loaded slot pointer.  Lanes
+never share a node or a slot, and an overwrite of the same key always
+stores that key's canonical value, so the fused launch is byte-identical
+to dispatching the SETs one by one in any order.
 """
 
 KVS_GET = """
@@ -143,5 +153,48 @@ insert:
     sd   x10, 96(x8)      // node.next = old head
     li   x14, 2
     sd   x14, 64(x1)      // status: inserted
+    ret
+"""
+
+KVS_SET_SCATTER = """
+.body
+    ld   x4, 0(x1)        // bucket head-pointer address
+    ld   x5, 8(x1)        // key word 0
+    ld   x6, 16(x1)       // key word 1
+    ld   x7, 24(x1)       // key word 2
+    ld   x8, 32(x1)       // preallocated node (key+value prewritten)
+    ld   x15, 40(x1)      // status-slot pointer
+    ld   x9, 0(x4)        // first node
+walk:
+    beqz x9, insert
+    ld   x10, 0(x9)
+    bne  x10, x5, next
+    ld   x10, 8(x9)
+    bne  x10, x6, next
+    ld   x10, 16(x9)
+    bne  x10, x7, next
+    // key exists: overwrite the 64 B value from the new node
+    addi x11, x8, 32      // source value
+    addi x12, x9, 32      // destination value
+    li   x13, 32
+    vsetvli x0, x13, e8
+    vle8.v v1, (x11)
+    vse8.v v1, (x12)
+    addi x11, x11, 32
+    addi x12, x12, 32
+    vle8.v v1, (x11)
+    vse8.v v1, (x12)
+    li   x14, 1
+    sd   x14, 64(x15)     // status: updated
+    ret
+next:
+    ld   x9, 96(x9)
+    j    walk
+insert:
+    // link the new node at the chain head: old_head = swap(head, node)
+    amoswap.d x10, x8, (x4)
+    sd   x10, 96(x8)      // node.next = old head
+    li   x14, 2
+    sd   x14, 64(x15)     // status: inserted
     ret
 """

@@ -12,6 +12,7 @@ memory-system services and the host-facing CXL.mem entry points.
 from __future__ import annotations
 
 import struct
+from dataclasses import replace as _dc_replace
 from functools import partial
 
 import numpy as np
@@ -40,6 +41,28 @@ DEVICE_PORT_NS = 10.0
 
 _AMO_INT = {4: struct.Struct("<i"), 8: struct.Struct("<q")}
 _AMO_FLT = {4: struct.Struct("<f"), 8: struct.Struct("<d")}
+
+
+class DevicePartition:
+    """One hardware partition's private timing models on one device.
+
+    Each partition owns its *own* memory-side L2 (sized to its set share)
+    and its *own* banked DRAM model (its channel share), so a launch bound
+    to one partition cannot evict another partition's cache lines or queue
+    behind its DRAM accesses — timing isolation by construction rather
+    than by masking inside shared structures.  The functional byte store
+    stays device-wide: partitions are a bandwidth/capacity carve-up, not
+    an address-space split.
+    """
+
+    def __init__(self, share, dram: DRAMModel, l2: SectorCache) -> None:
+        self.share = share
+        self.dram = dram
+        self.l2 = l2
+        self.name = share.name
+        self.index = share.index
+        self.unit_base = share.unit_base
+        self.num_units = share.num_units
 
 
 class M2NDPDevice:
@@ -89,10 +112,59 @@ class M2NDPDevice:
         self.backend = make_backend(
             backend if backend is not None else self.config.ndp.backend, self
         )
+        #: Hardware partitions (repro.cluster.partitions).  ``None`` — the
+        #: default — leaves the device monolithic and byte-identical to
+        #: pre-partitioning behavior.
+        self.partitions: list[DevicePartition] | None = None
+        self.partition_map = None
         # DRAM-TLB region lives at the top of device memory.
         self._dram_tlb_base = (
             self.config.cxl_dram.capacity_bytes - self.dram_tlb.region_bytes
         )
+
+    # ------------------------------------------------------------------
+    # hardware partitioning
+    # ------------------------------------------------------------------
+
+    def configure_partitions(self, pmap) -> None:
+        """Carve the device into the partitions of a resolved
+        :class:`~repro.cluster.partitions.PartitionMap`.
+
+        Must be called before traffic: each partition gets private L2 and
+        DRAM timing models sized to its share, and the partition's NDP
+        units are tagged so their whole memory path charges those models.
+        """
+        if pmap is None:
+            return
+        parts: list[DevicePartition] = []
+        l2_cfg, dram_cfg = self.config.l2, self.config.cxl_dram
+        for share in pmap:
+            part = DevicePartition(
+                share,
+                DRAMModel(
+                    _dc_replace(dram_cfg, channels=share.channels),
+                    self.stats, f"cxl_dram.{share.name}",
+                ),
+                SectorCache(
+                    _dc_replace(
+                        l2_cfg,
+                        size_bytes=share.l2_sets * l2_cfg.ways
+                        * l2_cfg.line_bytes,
+                    ),
+                    self.stats, f"l2.{share.name}",
+                    write_allocate=True, write_back=True,
+                ),
+            )
+            parts.append(part)
+            for u in share.units:
+                self.units[u].partition = part
+        self.partitions = parts
+        self.partition_map = pmap
+
+    def partition_by_index(self, index: int) -> DevicePartition | None:
+        if self.partitions is None or not 0 <= index < len(self.partitions):
+            return None
+        return self.partitions[index]
 
     # ------------------------------------------------------------------
     # memory-system services shared by the units
@@ -128,29 +200,36 @@ class M2NDPDevice:
         return old
 
     def l2_dram_access(self, paddr: int, size: int, now_ns: float,
-                       is_write: bool, allocate: bool = True) -> float:
+                       is_write: bool, allocate: bool = True,
+                       partition: DevicePartition | None = None) -> float:
         """Timed access through the memory-side L2 into DRAM.
 
         Reads of lines the host may hold dirty first pay an HDM-DB
         back-invalidation round trip (Fig 13b); the BI blocks only the
-        requesting µthread, so FGMT hides most of it.
+        requesting µthread, so FGMT hides most of it.  ``partition``
+        routes the access through that partition's private L2/DRAM slice
+        instead of the device-wide models (host packet traffic and
+        unpartitioned devices stay on the shared path).
         """
+        l2 = self.l2 if partition is None else partition.l2
+        dram = self.dram if partition is None else partition.dram
         if not is_write and self.coherence.dirty_fraction > 0.0:
             now_ns = self.coherence.access(paddr, size, now_ns)
-        result = self.l2.access(paddr, size, is_write)
+        result = l2.access(paddr, size, is_write)
         done = now_ns + self.config.l2.hit_latency_ns
         for wb_addr, wb_size in result.writebacks:
-            self.dram.access(wb_addr, wb_size, done, is_write=True)
+            dram.access(wb_addr, wb_size, done, is_write=True)
         completion = done
         for sector_addr, sector_size in result.missing_sectors:
             completion = max(
                 completion,
-                self.dram.access(sector_addr, sector_size, done, is_write),
+                dram.access(sector_addr, sector_size, done, is_write),
             )
         return completion
 
-    def l2_dram_access_batch(self, sector_addrs, arrivals_ns,
-                             is_write) -> float:
+    def l2_dram_access_batch(self, sector_addrs, arrivals_ns, is_write,
+                             partition: DevicePartition | None = None
+                             ) -> float:
         """Bulk counterpart of :meth:`l2_dram_access` for a sector stream.
 
         One vectorized pass charges HDM back-invalidation (reads of
@@ -160,6 +239,8 @@ class M2NDPDevice:
         completion among hits and fills (evicted-line writebacks are
         charged but, as in the scalar path, never block the launch).
         """
+        l2 = self.l2 if partition is None else partition.l2
+        dram = self.dram if partition is None else partition.dram
         sector_bytes = self.config.l2.sector_bytes
         arrivals = np.asarray(arrivals_ns, dtype=np.float64)
         if not sector_addrs.size:
@@ -171,7 +252,7 @@ class M2NDPDevice:
                 arrivals[reads] = self.coherence.access_batch(
                     sector_addrs[reads], sector_bytes, arrivals[reads]
                 )
-        result = self.l2.access_batch(sector_addrs, is_write)
+        result = l2.access_batch(sector_addrs, is_write)
         done = arrivals + self.config.l2.hit_latency_ns
         completion = float(done.max())
         n_wb = result.wb_idx.size
@@ -189,7 +270,7 @@ class M2NDPDevice:
                 np.asarray(is_write, dtype=bool)[result.fill_idx],
             ])
             order = np.argsort(keys, kind="stable")
-            finishes = self.dram.access_batch(
+            finishes = dram.access_batch(
                 addrs[order], sector_bytes, times[order], writes[order]
             )
             fills = (keys[order] & 1) == 1

@@ -118,10 +118,22 @@ class KernelExecution:
         scratchpad_bytes: int,
         max_concurrent_kernels: int,
         on_complete: Callable[["KernelExecution", float], None],
+        unit_base: int = 0,
+        partition=None,
     ) -> None:
         self.instance = instance
         self.num_units = num_units
         self.slots_per_unit = slots_per_unit
+        #: First *device* unit this execution may run on.  A launch bound
+        #: to a hardware partition sees a contiguous window of
+        #: ``num_units`` units starting here and behaves exactly like a
+        #: launch on a smaller device: plan-local unit indices (what x1
+        #: and the interleave math use) run 0..num_units-1 while the
+        #: spawn/fill machinery addresses physical units by global index.
+        self.unit_base = unit_base
+        #: The resolved DevicePartition (or None), for backends that
+        #: charge the memory system directly.
+        self.partition = partition
         self.on_complete = on_complete
         self.rf_bytes = instance.kernel.rf_bytes_per_uthread(vector_bytes)
         self.outstanding = 0
@@ -177,7 +189,11 @@ class KernelExecution:
         return self._completed
 
     def has_pending_for_unit(self, unit: int) -> bool:
-        return self._plan is not None and self._plan.has_pending(unit)
+        """``unit`` is a *global* device unit index."""
+        local = unit - self.unit_base
+        if not 0 <= local < self.num_units:
+            return False
+        return self._plan is not None and self._plan.has_pending(local)
 
     def take_for_unit(self, unit: int) -> ThreadDescriptor:
         if self._plan is None:
@@ -185,7 +201,11 @@ class KernelExecution:
                 f"unit {unit} asked for a uthread before the launch "
                 "plan was built"
             )
-        return self._plan.take(unit)
+        descriptor = self._plan.take(unit - self.unit_base)
+        # The plan thinks in partition-local units (x1 / interleave math);
+        # the descriptor must name the physical unit that runs the thread.
+        descriptor.unit_index = unit
+        return descriptor
 
     def consume_plan(self) -> None:
         """Drop every pending µthread without completing the execution.

@@ -105,6 +105,11 @@ class NDPUnit:
         )
         self.dtlb = TLB(config.dtlb_entries)
         self.itlb = TLB(config.itlb_entries)
+        #: The hardware partition this unit belongs to (``None`` on an
+        #: unpartitioned device); set by ``device.configure_partitions``.
+        #: Routes every global access through the partition's private
+        #: L2/DRAM slice.
+        self.partition = None
         self._memories: dict[int, UnitMemory] = {}
         # hot-path constants (avoid property/object churn per access)
         self._period_ns = config.clock.period_ns
@@ -157,7 +162,7 @@ class NDPUnit:
             # Global atomics execute at the memory-side L2 (§III-E/F).
             return self.device.l2_dram_access(
                 paddr, access.size, ready + CROSSBAR_NS, is_write=True,
-                allocate=True,
+                allocate=True, partition=self.partition,
             ) + ATOMIC_OP_NS
 
         l1_result = self.l1d.access(paddr, access.size, access.is_write)
@@ -168,7 +173,7 @@ class NDPUnit:
             for sector_addr, sector_size in l1_result.missing_sectors:
                 self.device.l2_dram_access(
                     sector_addr, sector_size, l1_done + CROSSBAR_NS,
-                    is_write=True, allocate=True,
+                    is_write=True, allocate=True, partition=self.partition,
                 )
             return l1_done
 
@@ -178,7 +183,7 @@ class NDPUnit:
         for sector_addr, sector_size in l1_result.missing_sectors:
             done = self.device.l2_dram_access(
                 sector_addr, sector_size, l1_done + CROSSBAR_NS,
-                is_write=False, allocate=True,
+                is_write=False, allocate=True, partition=self.partition,
             )
             completion = max(completion, done + CROSSBAR_NS)
         return completion

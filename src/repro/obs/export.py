@@ -147,12 +147,17 @@ def _config_dict(config) -> dict | None:
 
 
 def run_manifest(tracer: Tracer | None = None, stats=None, config=None,
-                 seed: int | None = None, extra: dict | None = None) -> dict:
+                 seed: int | None = None, extra: dict | None = None,
+                 partitions=None) -> dict:
     """Structured, stably ordered description of one run.
 
     ``stats`` accepts anything with a ``snapshot()`` (a
     :class:`~repro.sim.stats.StatsRegistry` or the cluster's aggregate
     view); keys are deterministically sorted so manifests diff cleanly.
+    ``partitions`` takes the cluster's
+    :class:`~repro.cluster.partitions.PartitionMap` (or an
+    already-described dict); unpartitioned runs pass None and the key is
+    absent, keeping their manifests byte-identical.
     """
     env = {key: value for key, value in sorted(os.environ.items())
            if key.startswith("REPRO_")}
@@ -166,6 +171,10 @@ def run_manifest(tracer: Tracer | None = None, stats=None, config=None,
         "counters": stats.snapshot() if stats is not None else {},
         "span_aggregates": tracer.aggregates() if tracer is not None else {},
     }
+    if partitions is not None:
+        manifest["partitions"] = (partitions.describe()
+                                  if hasattr(partitions, "describe")
+                                  else partitions)
     if extra:
         manifest.update(extra)
     return manifest

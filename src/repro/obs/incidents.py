@@ -41,7 +41,10 @@ DEFAULT_COOLDOWN_NS = 5_000.0
 _TIMELINE_KINDS = (
     "fault.kill", "fault.stall", "fault.link_flap", "fault.poison",
     "fault.detect", "fault.timeout",
+    "fault.partition_kill", "fault.partition_stall",
+    "fault.partition_detect",
     "recovery.failover", "recovery.remap", "recovery.device_up",
+    "recovery.partition_remap", "recovery.partition_up",
     "serve.retry", "serve.failed", "alert",
 )
 
@@ -60,6 +63,32 @@ _ALERT_KINDS = {
     "link_flap": ("device_degraded",),
     "poison": ("poison",),
 }
+
+#: Partition-scoped variants: the blast radius (and thus the alert) is
+#: one partition, not the device.
+_PARTITION_DETECT_KINDS = {
+    "device_fail": "fault.partition_detect",
+    "device_stall": "fault.partition_stall",
+    "poison": "fault.poison",
+}
+
+_PARTITION_ALERT_KINDS = {
+    "device_fail": ("partition_down",),
+    "device_stall": ("partition_degraded",),
+    "poison": ("poison",),
+}
+
+
+def _event_detect_kind(event) -> str:
+    if getattr(event, "partition", None) is not None:
+        return _PARTITION_DETECT_KINDS[event.kind]
+    return _DETECT_KINDS[event.kind]
+
+
+def _event_alert_kinds(event) -> tuple[str, ...]:
+    if getattr(event, "partition", None) is not None:
+        return _PARTITION_ALERT_KINDS[event.kind]
+    return _ALERT_KINDS[event.kind]
 
 #: Symptom alerts: attributable to *any* recent fault, not one kind.
 _SYMPTOM_ALERTS = ("burn_rate", "p99")
@@ -104,11 +133,14 @@ class IncidentReporter:
             trigger["requests"] = requests
         return self._fire(key, trigger, now_ns)
 
-    def on_fault_detected(self, device: int, now_ns: float) -> dict | None:
-        key = ("fault_detected", device)
-        return self._fire(
-            key, {"source": "fault_detected", "at_ns": now_ns,
-                  "device": device}, now_ns)
+    def on_fault_detected(self, device: int, now_ns: float,
+                          partition: str | None = None) -> dict | None:
+        key = ("fault_detected", device, partition or "")
+        trigger = {"source": "fault_detected", "at_ns": now_ns,
+                   "device": device}
+        if partition is not None:
+            trigger["partition"] = partition
+        return self._fire(key, trigger, now_ns)
 
     def _fire(self, key: tuple, trigger: dict,
               now_ns: float) -> dict | None:
@@ -145,6 +177,11 @@ class IncidentReporter:
             "ring_dropped": self.recorder.dropped,
             "counters": self.runtime.stats.snapshot(),
         }
+        part_radius = _partition_blast_radius(ring)
+        if part_radius:
+            # absent (not empty) on unpartitioned runs: pre-partitioning
+            # bundles stay byte-identical
+            bundle["partition_blast_radius"] = part_radius
         if self.monitor is not None:
             bundle["alerts"] = [a.to_dict() for a in self.monitor.alerts]
         if self.runtime.faults is not None:
@@ -168,6 +205,23 @@ def _blast_radius(ring: list[dict]) -> dict:
             for tenant, per in sorted(radius.items())}
 
 
+def _partition_blast_radius(ring: list[dict]) -> dict:
+    """Per-partition counts of partition-attributed events by kind:
+    ``"dev<d>.<partition>" -> {kind: count}`` — the containment story of
+    a partition-scoped fault at a glance."""
+    radius: dict[str, dict[str, int]] = {}
+    for row in ring:
+        partition = row.get("detail", {}).get("partition")
+        if partition is None:
+            continue
+        device = row.get("device")
+        key = f"dev{device}.{partition}" if device is not None else partition
+        per = radius.setdefault(key, {})
+        per[row["kind"]] = per.get(row["kind"], 0) + 1
+    return {key: dict(sorted(per.items()))
+            for key, per in sorted(radius.items())}
+
+
 # ---------------------------------------------------------------------------
 # plan correlation / self-grading
 # ---------------------------------------------------------------------------
@@ -185,17 +239,31 @@ def correlate(injector, ring: list[dict], alerts) -> list[dict]:
     rows = []
     for event in injector.plan.events:
         injected = injector.epoch_ns + event.at_ns
-        detect_kind = _DETECT_KINDS[event.kind]
+        detect_kind = _event_detect_kind(event)
+        scoped = getattr(event, "partition", None)
+
+        def matches_scope(row, _scoped=scoped):
+            return (_scoped is None
+                    or row.get("detail", {}).get("partition") == _scoped)
+
         detected = None
         for row in ring:
             if (row["kind"] == detect_kind
                     and row.get("device") == event.device
+                    and matches_scope(row)
                     and row["t_ns"] >= injected):
                 detected = row["t_ns"]
                 break
         recovered = None
         if detected is not None:
-            if event.kind == "device_fail":
+            if event.kind == "device_fail" and scoped is not None:
+                for row in ring:
+                    if (row["kind"] == "recovery.partition_remap"
+                            and row.get("device") == event.device
+                            and matches_scope(row)
+                            and row["t_ns"] >= detected):
+                        recovered = max(recovered or detected, row["t_ns"])
+            elif event.kind == "device_fail":
                 for row in ring:
                     if (row["kind"] in ("recovery.failover",
                                         "recovery.remap")
@@ -204,6 +272,14 @@ def correlate(injector, ring: list[dict], alerts) -> list[dict]:
                         done = row.get("detail", {}).get("done_ns",
                                                          row["t_ns"])
                         recovered = max(recovered or detected, done)
+            elif event.kind == "device_stall" and scoped is not None:
+                for row in ring:
+                    if (row["kind"] == "recovery.partition_up"
+                            and row.get("device") == event.device
+                            and matches_scope(row)
+                            and row["t_ns"] >= detected):
+                        recovered = row["t_ns"]
+                        break
             elif event.kind in ("device_stall", "link_flap"):
                 for row in ring:
                     if (row["kind"] == "recovery.device_up"
@@ -217,13 +293,14 @@ def correlate(injector, ring: list[dict], alerts) -> list[dict]:
             at = alert.at_ns if hasattr(alert, "at_ns") else alert["at_ns"]
             device = (alert.device if hasattr(alert, "device")
                       else alert.get("device"))
-            if (kind in _ALERT_KINDS[event.kind]
+            if (kind in _event_alert_kinds(event)
                     and device == event.device and at >= injected):
                 alerted = at
                 break
         rows.append({
             "kind": event.kind,
             "device": event.device,
+            **({"partition": scoped} if scoped is not None else {}),
             "injected_ns": injected,
             "detected_ns": detected,
             "mttd_ns": (detected - injected if detected is not None
@@ -260,7 +337,7 @@ def grade_against_plan(injector, alerts, *,
         injected = epoch + event.at_ns
         first = None
         for alert in alerts:
-            if (alert.kind in _ALERT_KINDS[event.kind]
+            if (alert.kind in _event_alert_kinds(event)
                     and alert.device == event.device
                     and alert.at_ns >= injected):
                 first = alert
@@ -283,7 +360,7 @@ def grade_against_plan(injector, alerts, *,
             )
         else:
             ok = any(
-                alert.kind in _ALERT_KINDS[e.kind]
+                alert.kind in _event_alert_kinds(e)
                 and alert.device == e.device
                 and alert.at_ns >= epoch + e.at_ns
                 for e in events
@@ -337,8 +414,10 @@ def render_bundle(bundle: dict) -> str:
                     else "undetected")
             mttr = (f"{row['mttr_ns']:,.0f}" if row["mttr_ns"] is not None
                     else "-")
+            scope = (f" partition={row['partition']}"
+                     if row.get("partition") else "")
             lines.append(
-                f"  {row['kind']:<13} device={row['device']} "
+                f"  {row['kind']:<13} device={row['device']}{scope} "
                 f"injected={row['injected_ns']:,.0f} ns "
                 f"MTTD={mttd} ns MTTR={mttr} ns"
             )
@@ -348,6 +427,12 @@ def render_bundle(bundle: dict) -> str:
         for tenant, per in bundle["blast_radius"].items():
             detail = " ".join(f"{k}={v}" for k, v in per.items())
             lines.append(f"  {tenant}: {detail}")
+    if bundle.get("partition_blast_radius"):
+        lines.append("")
+        lines.append("partition blast radius:")
+        for part, per in bundle["partition_blast_radius"].items():
+            detail = " ".join(f"{k}={v}" for k, v in per.items())
+            lines.append(f"  {part}: {detail}")
     interesting = {k: v for k, v in bundle["counters"].items()
                    if k.startswith(("fault.", "recovery."))}
     if interesting:

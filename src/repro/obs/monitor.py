@@ -60,6 +60,8 @@ _FAULT_ALERTS = {
     "fault.stall": ("device_degraded", "ticket"),
     "fault.link_flap": ("device_degraded", "ticket"),
     "fault.poison": ("poison", "page"),
+    "fault.partition_detect": ("partition_down", "page"),
+    "fault.partition_stall": ("partition_degraded", "ticket"),
 }
 
 
@@ -349,9 +351,12 @@ class SLOMonitor:
             for record in self.recorder.events(
                     kinds=tuple(_FAULT_ALERTS), since_seq=self._rec_seen):
                 kind, severity = _FAULT_ALERTS[record.kind]
+                where = record.detail.get("partition")
+                suffix = f" partition={where}" if where else ""
                 alert = Alert(kind, now_ns, severity, device=record.device,
                               value=record.t_ns,
-                              detail=f"{record.kind} at {record.t_ns:.0f} ns")
+                              detail=f"{record.kind} at "
+                                     f"{record.t_ns:.0f} ns{suffix}")
                 self.alerts.append(alert)
                 fired.append(alert)
             self._rec_seen = self.recorder.next_seq

@@ -90,7 +90,17 @@ class DynamicBatcher:
                 batchable: bool, scatter: bool = False) -> list[Request]:
         """The mergeable head run that :meth:`take` would dispatch now."""
         if scatter and self.policy.enabled:
-            return queue.head_run(tenant, self.policy.max_batch)
+            head = queue.head_run(tenant, self.policy.max_batch)
+            if not head:
+                return []
+            # op-homogeneous fusion: stop at the first request whose
+            # batch_key differs from the head's (different kernel)
+            run = []
+            for request in head:
+                if request.batch_key != head[0].batch_key:
+                    break
+                run.append(request)
+            return run
         limit = self.policy.max_batch if batchable else 1
         head = queue.head_run(tenant, limit)
         if not head:

@@ -231,6 +231,10 @@ class ServingEngine:
 
         self._seq = 0                 # global admission order
         self._inflight = 0
+        #: In-flight launches per hardware partition (pinned tenants
+        #: only); caps each partition at its unit-proportional share of
+        #: the cluster-wide in-flight budget.
+        self._inflight_parts: dict[str, int] = {}
         self._busy_integral = 0.0     # inflight x time, for utilization
         self._last_busy_ns = 0.0
         self._last_tick_ns = 0.0
@@ -264,6 +268,17 @@ class ServingEngine:
         usable = min(self.autoscaler.active,
                      self.runtime.scheduler.num_routable)
         return usable * self.inflight_per_device
+
+    def _partition_capacity(self, partition: str | None) -> int:
+        """In-flight cap for launches pinned to one hardware partition:
+        the cluster-wide budget scaled by the partition's sub-core share
+        (floor 1, so a tiny partition still makes progress)."""
+        pmap = self.runtime.partitions
+        if pmap is None or partition is None:
+            return self.capacity
+        share = pmap.share(partition)
+        return max(1, round(self.capacity * share.num_units
+                            / pmap.total_units))
 
     def _charge_busy(self, now_ns: float) -> None:
         self._busy_integral += self._inflight * (now_ns - self._last_busy_ns)
@@ -326,6 +341,7 @@ class ServingEngine:
             tenant=spec.name, index=index, seq=self._seq, arrival_ns=now,
             qos_class=spec.qos_class, deadline_ns=deadline,
             slice_lo=slice_lo, slice_hi=slice_hi,
+            batch_key=state.workload.batch_group(index),
         )
         if tracer is not None:
             request.trace_root = root
@@ -348,6 +364,11 @@ class ServingEngine:
             self._expire_heads(state, now)
             if not self.queue.depth(tenant):
                 continue
+            part = state.workload.active_partition
+            if (part is not None
+                    and self._inflight_parts.get(part, 0)
+                    >= self._partition_capacity(part)):
+                continue              # partition's in-flight share is full
             flush_at = self.batcher.should_hold(
                 self.queue, tenant, state.workload.batchable, now,
                 more_arrivals=state.more_arrivals,
@@ -401,6 +422,11 @@ class ServingEngine:
                                      batch=batch.size)
             self._charge_busy(now)
             self._inflight += 1
+            partition = state.workload.active_partition
+            if partition is not None:
+                self._inflight_parts[partition] = (
+                    self._inflight_parts.get(partition, 0) + 1
+                )
             launch_span = None
             if obs_tracer.ENABLED:
                 tracer = obs_tracer.tracer_of(self.sim)
@@ -416,19 +442,23 @@ class ServingEngine:
                     parent=batch.requests[0].trace_root,
                     tenant=tenant, batch=batch.size)
             try:
-                self._dispatch(state, plan, batch.requests, now, launch_span)
+                self._dispatch(state, plan, batch.requests, now, launch_span,
+                               partition)
             except DeviceUnavailable as exc:
                 # every device is DOWN or draining: fail the batch through
                 # the retry machinery rather than crashing the run loop
                 self._charge_busy(now)
                 self._inflight -= 1
+                if partition is not None:
+                    self._inflight_parts[partition] -= 1
                 if obs_tracer.ENABLED:
                     obs_tracer.tracer_of(self.sim).end(
                         launch_span, now, outcome="unroutable")
                 self._handle_failure(state, batch.requests, exc, now)
 
     def _dispatch(self, state: _TenantState, plan, requests: list[Request],
-                  now: float, launch_span: int | None) -> None:
+                  now: float, launch_span: int | None,
+                  partition: str | None = None) -> None:
         """Issue the cluster launch, optionally racing a hedged duplicate.
 
         Hedging applies only to ``hedgeable`` workloads (replicated
@@ -438,7 +468,8 @@ class ServingEngine:
         exactly once; a failed copy defers to an outstanding sibling.
         """
         spec = state.spec
-        done_cb = self._make_done(state, requests, plan, launch_span)
+        done_cb = self._make_done(state, requests, plan, launch_span,
+                                  partition)
         if spec.hedge_delay_ns <= 0 or not state.workload.hedgeable:
             self.runtime.launch_async(
                 plan.kernel_id, plan.base, plan.bound, args=plan.args,
@@ -509,12 +540,15 @@ class ServingEngine:
         return times
 
     def _make_done(self, state: _TenantState, requests: list[Request],
-                   plan, launch_span: int | None = None) -> Callable:
+                   plan, launch_span: int | None = None,
+                   partition: str | None = None) -> Callable:
         def done(handle) -> None:
             when = handle.complete_ns if handle.complete_ns is not None \
                 else self.sim.now
             self._charge_busy(when)
             self._inflight -= 1
+            if partition is not None:
+                self._inflight_parts[partition] -= 1
             tracer = obs_tracer.tracer_of(self.sim) if obs_tracer.ENABLED \
                 else None
             failure = getattr(handle, "failure", None)

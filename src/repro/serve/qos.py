@@ -73,6 +73,10 @@ class Request:
     #: contiguous ranges are what the dynamic batcher merges.
     slice_lo: int
     slice_hi: int
+    #: Fusion group (workload-defined): requests with different keys must
+    #: never share a scatter batch (e.g. KVStore GETs vs SETs, which run
+    #: different kernels).
+    batch_key: int = 0
     complete_ns: float | None = None
     #: Launches this request has been part of that failed (fault/timeout);
     #: compared against the tenant's retry budget.

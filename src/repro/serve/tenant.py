@@ -13,16 +13,27 @@ Request kinds (same trio as the cluster traffic driver):
 
 ``vecadd``  bandwidth-bound batched vector jobs; slices of C = A + B.
 ``olap``    column-scan analytics; slices of a predicate mask sweep.
-``kvstore`` point GETs against a replicated hash table (one µthread per
-            request).  Contiguous-slice merging never applies (every
-            request walks its own bucket into its own slot), but with
-            **scatter batching** (``REPRO_SERVE_SCATTER_BATCH``, default
-            on) multiple GETs fuse into one wide launch: the host writes
-            one 40 B descriptor per request (bucket pointer, key words,
-            result-slot pointer) into a 64 B-stride staging ring and
-            launches ``KVS_GET_SCATTER`` over the ring, one µthread per
-            descriptor — byte-identical results to unbatched dispatch,
-            one launch's worth of machinery for the whole batch.
+``kvstore`` point GETs/SETs against a replicated hash table (one
+            µthread per request; ``get_fraction`` sets the mix).
+            Contiguous-slice merging never applies (every request walks
+            its own bucket into its own slot), but with **scatter
+            batching** (``REPRO_SERVE_SCATTER_BATCH``, default on)
+            multiple same-op requests fuse into one wide launch: the
+            host writes one descriptor per request (bucket pointer, key
+            words, slot pointer — SETs add a preallocated node pointer)
+            into a 64 B-stride staging ring and launches
+            ``KVS_GET_SCATTER`` / ``KVS_SET_SCATTER`` over the ring, one
+            µthread per descriptor — byte-identical results to unbatched
+            dispatch, one launch's worth of machinery for the whole
+            batch.  Batches never mix GETs and SETs (the two ops run
+            different kernels), which the batcher enforces via each
+            request's ``batch_key``.
+
+Tenants on a partitioned cluster may pin to one hardware partition
+(``TenantSpec.partition``): every allocation — and therefore every
+launch — lands inside that partition's sub-cores, L2 slices and DRAM
+channels, so a noisy neighbour in another partition cannot touch this
+tenant's timing.
 """
 
 from __future__ import annotations
@@ -36,7 +47,12 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.host.api import pack_args
-from repro.kernels.kvstore import KVS_GET, KVS_GET_SCATTER
+from repro.kernels.kvstore import (
+    KVS_GET,
+    KVS_GET_SCATTER,
+    KVS_SET,
+    KVS_SET_SCATTER,
+)
 from repro.kernels.olap import EVAL_RANGE_I32
 from repro.kernels.vecadd import VECADD
 from repro.serve.arrivals import ArrivalSpec, stream_rng
@@ -75,6 +91,12 @@ class TenantSpec:
     #: Working-set slices requests cycle through (vecadd / olap).
     slices: int = 8
     placement: str | None = None
+    #: Pin every allocation (and therefore every launch) to one hardware
+    #: partition of a partitioned cluster.  None = unpinned.
+    partition: str | None = None
+    #: kvstore only: fraction of requests that are GETs (the rest are
+    #: SETs that overwrite existing keys in place).
+    get_fraction: float = 1.0
     #: Retry budget for launches lost to faults (default: none).
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Hedged requests: > 0 issues a duplicate launch if the primary has
@@ -103,6 +125,16 @@ class TenantSpec:
         if not math.isfinite(self.hedge_delay_ns) or self.hedge_delay_ns < 0:
             raise ConfigError(
                 f"tenant {self.name!r}: hedge_delay_ns must be >= 0"
+            )
+        if not 0.0 <= self.get_fraction <= 1.0:
+            raise ConfigError(
+                f"tenant {self.name!r}: get_fraction must be in [0, 1], "
+                f"got {self.get_fraction}"
+            )
+        if self.get_fraction < 1.0 and self.kind != "kvstore":
+            raise ConfigError(
+                f"tenant {self.name!r}: get_fraction applies to kvstore "
+                f"tenants only"
             )
 
     @property
@@ -145,6 +177,25 @@ class TenantWorkload:
         self.gen = stream_rng(seed, spec.name)
         self._touched: set[int] = set()
         getattr(self, f"_setup_{spec.kind}")()
+        # Pinned tenants resolve their partition through one anchor shard
+        # so a partition failover (ShardMap remap) is visible to the
+        # engine's per-partition capacity accounting.
+        self._anchor_shard = None
+        if spec.partition is not None:
+            anchor_addr = {
+                "vecadd": lambda: self.addr_a,
+                "olap": lambda: self.addr_col,
+                "kvstore": lambda: self.table.buckets_addr,
+            }[spec.kind]()
+            self._anchor_shard = self.runtime.shard_map(anchor_addr)
+
+    @property
+    def active_partition(self) -> str | None:
+        """The partition this tenant's launches currently land in, after
+        any fault-driven remap; None when unpinned."""
+        if self._anchor_shard is None:
+            return None
+        return self._anchor_shard.active_partition
 
     # -- batching contract --------------------------------------------------
 
@@ -173,11 +224,22 @@ class TenantWorkload:
         s = index % self.spec.slices
         return (s, s + 1)
 
+    def batch_group(self, index: int) -> int:
+        """Fusion group for request ``index``: requests in different
+        groups must never share a scatter batch (GETs and SETs run
+        different kernels)."""
+        if self.spec.kind != "kvstore":
+            return 0
+        return 0 if self.data.requests[index].is_get else 1
+
     # -- per-kind data setup ------------------------------------------------
 
     def _alloc_kw(self, default_placement: str | None = None) -> dict:
         placement = self.spec.placement or default_placement
-        return {"placement": placement} if placement else {}
+        kw = {"placement": placement} if placement else {}
+        if self.spec.partition is not None:
+            kw["partition"] = self.spec.partition
+        return kw
 
     def _setup_vecadd(self) -> None:
         n = self.spec.effective_size
@@ -208,24 +270,45 @@ class TenantWorkload:
     def _setup_kvstore(self) -> None:
         # Read-mostly tables replicate by default so any expander serves
         # a GET without a switch hop.
-        placement = self.spec.placement or "replicated"
+        kw = self._alloc_kw("replicated")
+        frac = self.spec.get_fraction
         requests = self.spec.total_requests
         self.data = kvstore.generate(
             self.spec.effective_size, requests,
-            get_fraction=1.0, mix_name="GET",
+            get_fraction=frac,
+            mix_name="GET" if frac >= 1.0 else f"GET{round(frac * 100)}",
             salt=int(self.gen.integers(0, 1 << 16)),
         )
-        self.table = kvstore.setup_table(self.runtime, self.data,
-                                         placement=placement)
+        set_indices = [i for i, r in enumerate(self.data.requests)
+                       if not r.is_get]
+        self.table = kvstore.setup_table(
+            self.runtime, self.data,
+            spare_nodes=max(1, len(set_indices)),
+            placement=kw.get("placement"), partition=kw.get("partition"),
+        )
         # one result slot per request; slots are verified post-run
-        self.slots_addr = self.runtime.alloc(requests * 128, align=128,
-                                             placement=placement)
+        self.slots_addr = self.runtime.alloc(requests * 128, align=128, **kw)
         self.kid = self.runtime.register_kernel(
             KVS_GET, name=f"{self.spec.name}.get"
         )
         self._checks: list[tuple[int, int]] = []
+        self._set_checks: list[int] = []
+        # SETs overwrite existing keys: each SET's node (key + canonical
+        # value) is host-prewritten once at setup, so re-planning a retry
+        # or replaying a hedge writes identical bytes.
+        self._set_node: dict[int, int] = {}
+        if set_indices:
+            self.set_kid = self.runtime.register_kernel(
+                KVS_SET, name=f"{self.spec.name}.set"
+            )
+            for ordinal, i in enumerate(set_indices):
+                node = self.table.spare_addr + ordinal * kvstore.NODE_BYTES
+                kvstore._prewrite_node(self.runtime, node,
+                                       self.data.requests[i])
+                self._set_node[i] = node
         # scatter batching: a staging ring of per-request descriptors the
-        # fused KVS_GET_SCATTER launch walks, one µthread per entry
+        # fused KVS_GET_SCATTER / KVS_SET_SCATTER launch walks, one
+        # µthread per entry
         self._scatter_enabled = (
             os.environ.get("REPRO_SERVE_SCATTER_BATCH", "1") != "0"
         )
@@ -233,12 +316,15 @@ class TenantWorkload:
             self.scatter_kid = self.runtime.register_kernel(
                 KVS_GET_SCATTER, name=f"{self.spec.name}.get_scatter"
             )
+            if set_indices:
+                self.set_scatter_kid = self.runtime.register_kernel(
+                    KVS_SET_SCATTER, name=f"{self.spec.name}.set_scatter"
+                )
             # retried requests are re-planned into fresh ring entries, so
             # the ring is sized for the worst-case attempt count
             entries = requests * (1 + self.spec.retry.max_retries)
             self.staging_addr = self.runtime.alloc(
-                entries * SCATTER_ENTRY_BYTES, align=128,
-                placement=placement,
+                entries * SCATTER_ENTRY_BYTES, align=128, **kw
             )
             self._staging_cursor = 0
 
@@ -269,7 +355,10 @@ class TenantWorkload:
                 pack_args(self.addr_mask + lo * rows, self.lo, self.hi),
             )
         # kvstore: one µthread per request — alone over its result slot,
-        # or scatter-batched over a run of staging-ring descriptors
+        # or scatter-batched over a run of staging-ring descriptors.
+        # Batches are op-homogeneous (batch_group): GETs and SETs never
+        # share a launch.
+        is_get = self.data.requests[requests[0].index].is_get
         if len(requests) == 1:
             (request,) = requests
             req = self.data.requests[request.index]
@@ -277,8 +366,12 @@ class TenantWorkload:
                 *req.key, self.data.buckets
             )
             slot = self.slots_addr + request.index * 128
-            return LaunchPlan(self.kid, slot, slot + 32,
-                              pack_args(bucket_ptr, *req.key))
+            if is_get:
+                return LaunchPlan(self.kid, slot, slot + 32,
+                                  pack_args(bucket_ptr, *req.key))
+            node = self._set_node[request.index]
+            return LaunchPlan(self.set_kid, slot, slot + 32,
+                              pack_args(bucket_ptr, *req.key, node))
         base = (self.staging_addr
                 + self._staging_cursor * SCATTER_ENTRY_BYTES)
         physical = self.runtime.physical
@@ -288,13 +381,15 @@ class TenantWorkload:
                 *req.key, self.data.buckets
             )
             slot = self.slots_addr + request.index * 128
-            physical.write_bytes(
-                base + i * SCATTER_ENTRY_BYTES,
-                struct.pack("<5Q", bucket_ptr, *req.key, slot),
-            )
+            if is_get:
+                entry = struct.pack("<5Q", bucket_ptr, *req.key, slot)
+            else:
+                entry = struct.pack("<6Q", bucket_ptr, *req.key,
+                                    self._set_node[request.index], slot)
+            physical.write_bytes(base + i * SCATTER_ENTRY_BYTES, entry)
         self._staging_cursor += len(requests)
         return LaunchPlan(
-            self.scatter_kid, base,
+            self.scatter_kid if is_get else self.set_scatter_kid, base,
             base + len(requests) * SCATTER_ENTRY_BYTES,
             args=b"", stride=SCATTER_ENTRY_BYTES, scatter=True,
         )
@@ -311,7 +406,10 @@ class TenantWorkload:
             for request in requests:
                 req = self.data.requests[request.index]
                 slot = self.slots_addr + request.index * 128
-                self._checks.append((slot, req.value_seed))
+                if req.is_get:
+                    self._checks.append((slot, req.value_seed))
+                else:
+                    self._set_checks.append(slot)
             return
         for request in requests:
             self._touched.update(range(request.slice_lo, request.slice_hi))
@@ -345,6 +443,12 @@ class TenantWorkload:
         for slot, seed in self._checks:
             if (physical.read_u64(slot + 64) != 1
                     or physical.read_u64(slot) != seed):
+                return False
+        # Every serving SET targets an existing key, so it must report
+        # "updated" (1) — an "inserted" (2) would mean an order-dependent
+        # chain mutation and a broken byte-identity guarantee.
+        for slot in self._set_checks:
+            if physical.read_u64(slot + 64) != 1:
                 return False
         return True
 

@@ -129,14 +129,19 @@ class KVTable:
 
 def setup_table(runtime: M2NDPRuntime, data: KVStoreData,
                 spare_nodes: int = 1024,
-                placement: str | None = None) -> KVTable:
+                placement: str | None = None,
+                partition: str | None = None) -> KVTable:
     """Materialize buckets and chained nodes in device memory.
 
     ``placement`` (cluster runtimes only) shards or replicates the table
     across the expanders; the single-device runtime ignores it.
+    ``partition`` (partitioned clusters only) pins every launch against
+    the table to one hardware partition.
     """
     device = runtime.device
     kwargs = {} if placement is None else {"placement": placement}
+    if partition is not None:
+        kwargs["partition"] = partition
     buckets_addr = runtime.alloc(data.buckets * 8, **kwargs)
     nodes_addr = runtime.alloc(data.items * NODE_BYTES, align=128, **kwargs)
     spare_addr = runtime.alloc(spare_nodes * NODE_BYTES, align=128, **kwargs)
